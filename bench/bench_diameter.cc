@@ -1,0 +1,53 @@
+// E1 — "diameter" figure.
+//
+// Claim: the circulant Harary graph H(k,n) has Θ(n/k) diameter while the
+// LHG keeps O(log n); the gap grows without bound.  This harness prints
+// the exact diameters for n doubling from 32 to 16384 at several k,
+// alongside the log2(n) reference and the Harary analytic prediction.
+//
+// Expected shape: the Harary column doubles with n; the LHG column grows
+// by ~log(k-1) steps per doubling; crossover is immediate (n >= 4k).
+
+#include <cmath>
+#include <iostream>
+
+#include "core/diameter.h"
+#include "harary/harary.h"
+#include "lhg/lhg.h"
+#include "table.h"
+
+int main() {
+  using namespace lhg;
+
+  std::cout << "E1: exact diameter (and mean path length), LHG vs classic "
+               "Harary H(k,n)\n";
+  bench::Table table({"k", "n", "lhg_diam", "harary_diam", "log2(n)",
+                      "harary_pred", "ratio", "lhg_apl", "harary_apl"},
+                     12);
+  table.print_header();
+
+  // Average path length costs an all-pairs BFS; cap it at 2048 nodes.
+  constexpr core::NodeId kAplLimit = 2048;
+  for (const std::int32_t k : {3, 4, 6, 8}) {
+    for (core::NodeId n = 32; n <= 16384; n *= 2) {
+      if (n < 2 * k) continue;
+      const auto lhg_graph = build(n, k);
+      const auto harary_graph = harary::circulant(n, k);
+      const auto lhg_diam = core::diameter(lhg_graph);
+      const auto harary_diam = core::diameter(harary_graph);
+      const bool apl = n <= kAplLimit;
+      table.print_row(k, n, lhg_diam, harary_diam,
+                      std::log2(static_cast<double>(n)),
+                      harary::predicted_diameter(n, k),
+                      static_cast<double>(harary_diam) /
+                          static_cast<double>(lhg_diam),
+                      apl ? core::average_path_length(lhg_graph) : -1.0,
+                      apl ? core::average_path_length(harary_graph) : -1.0);
+    }
+    std::cout << '\n';
+  }
+  std::cout << "shape check: harary_diam ~ n/k (doubles with n); "
+               "lhg_diam ~ 2*log_{k-1}(n) (adds a constant per doubling); "
+               "mean path lengths follow the same regimes (-1 = skipped)\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E4 — "flooding latency, failure-free" figure.
+//
+// Claim: a flood over an LHG completes in O(log n) hop-rounds while the
+// same protocol over the circulant Harary graph needs Θ(n/k) rounds; a
+// degree-matched random regular graph sits near the LHG (random graphs
+// have logarithmic diameter w.h.p. but no deterministic guarantee).
+//
+// Expected shape: the harary column grows linearly in n; lhg and
+// random-k-regular grow by an additive constant per doubling, with lhg
+// deterministic (identical across seeds) and random varying slightly.
+
+#include <iostream>
+
+#include "core/random_graphs.h"
+#include "flooding/protocols.h"
+#include "harary/harary.h"
+#include "lhg/lhg.h"
+#include "table.h"
+
+int main() {
+  using namespace lhg;
+  using flooding::flood;
+
+  std::cout << "E4: failure-free flood completion (hop-rounds), source 0\n";
+  bench::Table table({"k", "n", "lhg_rounds", "harary_rounds", "randreg_rounds",
+                      "lhg_msgs", "harary_msgs"},
+                     15);
+  table.print_header();
+
+  for (const std::int32_t k : {3, 4, 6}) {
+    for (core::NodeId n = 64; n <= 8192; n *= 2) {
+      const auto lhg_graph = build(n, k);
+      const auto harary_graph = harary::circulant(n, k);
+      core::Rng rng(static_cast<std::uint64_t>(n) * 31 + k);
+      const auto random_graph =
+          (static_cast<std::int64_t>(n) * k) % 2 == 0
+              ? core::random_regular_connected(n, k, rng)
+              : core::random_regular_connected(n + 1, k, rng);
+
+      const auto lhg_result = flood(lhg_graph, {.source = 0});
+      const auto harary_result = flood(harary_graph, {.source = 0});
+      const auto random_result = flood(random_graph, {.source = 0});
+
+      table.print_row(k, n, lhg_result.completion_hops,
+                      harary_result.completion_hops,
+                      random_result.completion_hops,
+                      lhg_result.messages_sent, harary_result.messages_sent);
+    }
+    std::cout << '\n';
+  }
+  std::cout << "shape check: harary_rounds ~ n/k; lhg_rounds ~ 2*log_{k-1}(n); "
+               "message counts comparable (~= 2m - n + 1)\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E13 (extension) — dissemination on lossy links.
+//
+// Real deployments drop packets; the paper's fail-stop model is the
+// clean abstraction.  This bench quantifies the gap: plain flooding vs
+// ACK/retransmit reliable broadcast on the same LHG as per-transmission
+// loss grows, measuring delivery, messages (incl. ACKs and retries) and
+// completion time.
+//
+// Expected shape: plain flooding's delivery decays as loss grows (the
+// redundancy of k disjoint paths shields it at low loss); reliable
+// broadcast holds 1.00 delivery at ~2-4x message cost and latency that
+// grows with the retransmit interval.
+
+#include <algorithm>
+#include <iostream>
+
+#include "flooding/protocols.h"
+#include "flooding/reliable_broadcast.h"
+#include "lhg/lhg.h"
+#include "table.h"
+
+int main() {
+  using namespace lhg;
+  using namespace lhg::flooding;
+
+  constexpr int kTrials = 30;
+  const std::int32_t k = 3;
+  const core::NodeId n = 244;
+  const auto g = build(n, k);
+  std::cout << "E13: loss sweep on a (" << n << ", " << k << ") LHG, "
+            << kTrials << " seeds per row\n";
+  bench::Table table({"loss", "protocol", "mean_deliv", "min_deliv",
+                      "complete%", "msgs/node", "mean_time"},
+                     12);
+  table.print_header();
+
+  for (const double loss : {0.0, 0.05, 0.1, 0.2, 0.3, 0.4}) {
+    double flood_deliv = 0;
+    double flood_min = 1.0;
+    int flood_complete = 0;
+    double flood_msgs = 0;
+    double flood_time = 0;
+    double rb_deliv = 0;
+    double rb_min = 1.0;
+    int rb_complete = 0;
+    double rb_msgs = 0;
+    double rb_time = 0;
+
+    for (int t = 0; t < kTrials; ++t) {
+      const auto seed = static_cast<std::uint64_t>(t) * 7919 + 3;
+      // Plain flooding on a lossy network: run it through the reliable
+      // machinery with a zero retry budget (identical wire behaviour).
+      const auto plain = reliable_broadcast(
+          g, {.source = 0, .seed = seed, .loss_probability = loss,
+              .max_retries = 0});
+      flood_deliv += plain.delivery_ratio();
+      flood_min = std::min(flood_min, plain.delivery_ratio());
+      flood_complete += plain.all_alive_delivered() ? 1 : 0;
+      flood_msgs += static_cast<double>(plain.messages_sent);
+      flood_time += plain.completion_time;
+
+      const auto reliable = reliable_broadcast(
+          g, {.source = 0, .seed = seed, .loss_probability = loss,
+              .retransmit_interval = 3.0, .max_retries = 8});
+      rb_deliv += reliable.delivery_ratio();
+      rb_min = std::min(rb_min, reliable.delivery_ratio());
+      rb_complete += reliable.all_alive_delivered() ? 1 : 0;
+      rb_msgs += static_cast<double>(reliable.messages_sent);
+      rb_time += reliable.completion_time;
+    }
+    table.print_row(loss, "flood", flood_deliv / kTrials, flood_min,
+                    100.0 * flood_complete / kTrials, flood_msgs / kTrials / n,
+                    flood_time / kTrials);
+    table.print_row(loss, "reliable", rb_deliv / kTrials, rb_min,
+                    100.0 * rb_complete / kTrials, rb_msgs / kTrials / n,
+                    rb_time / kTrials);
+    std::cout << '\n';
+  }
+  std::cout << "shape check: flood complete% decays with loss; reliable "
+               "stays 100 at bounded extra msgs\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// E12 (extension) — structured routing stretch.
+//
+// The pasted-tree structure supports unicast routing from local state
+// only (each node knows its copy and tree position).  This bench
+// measures the cost of that locality: route length versus the BFS
+// shortest path, across sizes and constraints.
+//
+// Expected shape: mean stretch stays a small constant (~1.2–2.0) and
+// the worst route respects the 4·height+4 bound, while the routing
+// state per node is O(1) versus O(n) for shortest-path tables.
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/bfs.h"
+#include "core/rng.h"
+#include "lhg/routing.h"
+#include "table.h"
+
+int main() {
+  using namespace lhg;
+  using core::NodeId;
+
+  std::cout << "E12: routing stretch over 400 sampled pairs per row\n";
+  bench::Table table({"constraint", "k", "n", "mean_stretch", "max_stretch",
+                      "worst_hops", "bound"},
+                     13);
+  table.print_header();
+
+  for (const auto constraint : {Constraint::kKTree, Constraint::kKDiamond}) {
+    for (const std::int32_t k : {3, 5}) {
+      for (const NodeId n : {64, 256, 1024, 4096}) {
+        if (!exists(n, k, constraint)) continue;
+        auto [graph, router] = make_routed_overlay(n, k, constraint);
+        core::Rng rng(static_cast<std::uint64_t>(n) * k);
+        double total_stretch = 0;
+        double max_stretch = 0;
+        std::int32_t worst = 0;
+        int measured = 0;
+        for (int trial = 0; trial < 400; ++trial) {
+          const auto u = static_cast<NodeId>(
+              rng.next_below(static_cast<std::uint64_t>(n)));
+          const auto dist = core::bfs_distances(graph, u);
+          const auto v = static_cast<NodeId>(
+              rng.next_below(static_cast<std::uint64_t>(n)));
+          if (u == v) continue;
+          const auto hops =
+              static_cast<std::int32_t>(router.route(u, v).size()) - 1;
+          const double stretch =
+              static_cast<double>(hops) /
+              static_cast<double>(dist[static_cast<std::size_t>(v)]);
+          total_stretch += stretch;
+          max_stretch = std::max(max_stretch, stretch);
+          worst = std::max(worst, hops);
+          ++measured;
+        }
+        table.print_row(to_string(constraint), k, n, total_stretch / measured,
+                        max_stretch, worst, router.max_route_hops());
+      }
+    }
+    std::cout << '\n';
+  }
+  std::cout << "shape check: mean_stretch flat in n (~1.2-2.0); worst_hops "
+               "<= bound = 4*height+4\n";
+  return 0;
+}

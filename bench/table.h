@@ -1,0 +1,58 @@
+// Tiny fixed-width table printer shared by the benchmark harnesses, so
+// every experiment binary emits the same aligned, grep-friendly rows
+// that EXPERIMENTS.md quotes.
+
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lhg::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int column_width = 12)
+      : headers_(std::move(headers)), width_(column_width) {}
+
+  void print_header(std::ostream& out = std::cout) const {
+    for (const auto& h : headers_) out << std::setw(width_) << h;
+    out << '\n';
+    out << std::string(headers_.size() * static_cast<std::size_t>(width_), '-')
+        << '\n';
+  }
+
+  template <typename... Cells>
+  void print_row(Cells&&... cells) const {
+    std::ostream& out = std::cout;
+    ((out << std::setw(width_) << format_cell(std::forward<Cells>(cells))),
+     ...);
+    out << '\n';
+  }
+
+ private:
+  static std::string format_cell(double value) {
+    std::ostringstream s;
+    s << std::fixed << std::setprecision(2) << value;
+    return s.str();
+  }
+  static std::string format_cell(const char* value) { return value; }
+  static std::string format_cell(const std::string& value) { return value; }
+  template <typename T>
+  static std::string format_cell(T value) {
+    std::ostringstream s;
+    s << value;
+    return s.str();
+  }
+
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+inline void section(const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+}
+
+}  // namespace lhg::bench

@@ -1,0 +1,81 @@
+// Overlay designer: given a cluster size n and a fault-tolerance target
+// f (the system must survive any f crashes), choose and materialize the
+// cheapest LHG overlay.
+//
+//   ./design_topology [n] [f] [out.edges]     (defaults: n = 57, f = 3)
+//
+// Walks through the real decision procedure a deployment would use:
+//   1. k = f + 1 (Menger: surviving f crashes needs k-connectivity);
+//   2. prefer a constraint that is k-regular at this n (minimum links,
+//      uniform per-node load); K-DIAMOND is regular twice as often;
+//   3. if n is off every regular lattice, quantify the overhead of each
+//      constraint and pick the smallest;
+//   4. emit the edge list (and DOT for small graphs) for the deployment.
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+
+#include "core/diameter.h"
+#include "core/format.h"
+#include "core/graph_io.h"
+#include "harary/harary.h"
+#include "lhg/lhg.h"
+
+int main(int argc, char** argv) {
+  using namespace lhg;
+  using core::format;
+
+  const auto n = static_cast<core::NodeId>(argc > 1 ? std::atoi(argv[1]) : 57);
+  const std::int32_t f = argc > 2 ? std::atoi(argv[2]) : 3;
+  const std::int32_t k = f + 1;
+  std::cout << format("designing an overlay for n={} nodes surviving any "
+                      "f={} crashes -> k={}\n\n",
+                      n, f, k);
+  if (k < 2 || !exists(n, k)) {
+    std::cerr << format("infeasible: LHGs need k >= 2 and n >= 2k (= {})\n",
+                        2 * k);
+    return 1;
+  }
+
+  // Compare every realizable constraint at this (n, k).
+  const auto optimum = harary::min_edges(n, k);
+  std::cout << format("Harary lower bound: {} links (any k-connected graph)\n",
+                      optimum);
+  Constraint best = Constraint::kKTree;
+  std::int64_t best_edges = -1;
+  for (const auto constraint :
+       {Constraint::kStrictJD, Constraint::kKTree, Constraint::kKDiamond}) {
+    if (!exists(n, k, constraint)) {
+      std::cout << format("  {}: not realizable at (n={}, k={})\n",
+                          to_string(constraint), n, k);
+      continue;
+    }
+    const auto g = build(n, k, constraint);
+    std::cout << format(
+        "  {}: {} links (+{} over bound), degrees {}..{}, {}, diameter {}\n",
+        to_string(constraint), g.num_edges(), g.num_edges() - optimum,
+        g.min_degree(), g.max_degree(),
+        g.is_regular(k) ? "k-regular" : "not regular", core::diameter(g));
+    if (best_edges < 0 || g.num_edges() < best_edges) {
+      best_edges = g.num_edges();
+      best = constraint;
+    }
+  }
+
+  const auto chosen = build(n, k, best);
+  std::cout << format("\nchosen: {} ({} links, diameter {} vs log2(n)={:.1f})\n",
+                      to_string(best), chosen.num_edges(),
+                      core::diameter(chosen),
+                      std::log2(static_cast<double>(n)));
+
+  const std::string path = argc > 3 ? argv[3] : "overlay.edges";
+  std::ofstream out(path);
+  core::write_edge_list(chosen, out);
+  std::cout << format("edge list written to {}\n", path);
+  if (n <= 24) {
+    std::cout << "\nDOT (render with `dot -Tpng`):\n"
+              << core::to_dot(chosen, "overlay");
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Head-to-head: for one deployment size, compare the four candidate
+// dissemination overlays an architect would shortlist — LHG flooding,
+// classic Harary flooding, random-regular flooding, and membership
+// gossip — on the axes that matter: latency, message cost, and
+// guaranteed vs probabilistic delivery under failures.
+//
+//   ./overlay_comparison [n] [k]    (defaults: n = 302, k = 4)
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/diameter.h"
+#include "core/format.h"
+#include "core/random_graphs.h"
+#include "flooding/failure.h"
+#include "flooding/protocols.h"
+#include "harary/harary.h"
+#include "lhg/lhg.h"
+
+namespace {
+
+struct Candidate {
+  std::string name;
+  lhg::core::Graph graph;   // empty for gossip (no overlay)
+  bool gossip = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lhg;
+  using namespace lhg::flooding;
+  using core::format;
+
+  const auto n = static_cast<core::NodeId>(argc > 1 ? std::atoi(argv[1]) : 302);
+  const std::int32_t k = argc > 2 ? std::atoi(argv[2]) : 4;
+  if (!exists(n, k)) {
+    std::cerr << format("need n >= 2k; got (n={}, k={})\n", n, k);
+    return 1;
+  }
+
+  core::Rng rng(7);
+  std::vector<Candidate> candidates;
+  candidates.push_back({"lhg", build(n, k), false});
+  candidates.push_back({"harary", harary::circulant(n, k), false});
+  if ((static_cast<std::int64_t>(n) * k) % 2 == 0) {
+    candidates.push_back(
+        {"rand-kreg", core::random_regular_connected(n, k, rng), false});
+  }
+  candidates.push_back({"gossip", core::Graph{}, true});
+
+  std::cout << format(
+      "n={}, k={}: 30 trials each of healthy + {}-crash floods\n\n", n, k,
+      k - 1);
+  std::cout << format("{}\n",
+                      "overlay      links  diam  rounds  msgs/node  "
+                      "worst-delivery(f=k-1)");
+  for (auto& candidate : candidates) {
+    double total_msgs = 0;
+    double rounds = 0;
+    double worst_delivery = 1.0;
+    const int trials = 30;
+    for (int t = 0; t < trials; ++t) {
+      core::Rng trial_rng(static_cast<std::uint64_t>(t) * 131 + 17);
+      DisseminationResult result;
+      if (candidate.gossip) {
+        FailurePlan plan;
+        // Gossip has no overlay; crash random non-source nodes directly.
+        const auto g_for_failures = candidates[0].graph;
+        plan = random_crashes(g_for_failures, k - 1, 0, trial_rng);
+        result = gossip(
+            n, {.source = 0, .fanout = 4,
+                .seed = static_cast<std::uint64_t>(t)}, plan);
+      } else {
+        const auto plan = random_crashes(candidate.graph, k - 1, 0, trial_rng);
+        result = flood(candidate.graph,
+                       {.source = 0, .seed = static_cast<std::uint64_t>(t)},
+                       plan);
+      }
+      total_msgs += static_cast<double>(result.messages_sent);
+      rounds += result.completion_hops;
+      worst_delivery = std::min(worst_delivery, result.delivery_ratio());
+    }
+    const auto links =
+        candidate.gossip ? 0 : candidate.graph.num_edges();
+    const auto diam = candidate.gossip
+                          ? -1
+                          : core::diameter(candidate.graph);
+    std::cout << format("{}{}{}{}{}{:.3f}\n",
+                        format("{}", candidate.name + std::string(13 - candidate.name.size(), ' ')),
+                        format("{} ", links),
+                        diam < 0 ? std::string("  -   ") : format("  {}   ", diam),
+                        format("  {:.1f}   ", rounds / trials),
+                        format("  {:.1f}      ", total_msgs / trials / n),
+                        worst_delivery);
+  }
+  std::cout << "\nreading: lhg matches harary's link budget but floods in "
+               "log-rounds with guaranteed delivery;\ngossip approaches 1.0 "
+               "delivery only probabilistically and at higher message cost.\n";
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Reproduces everything: build, full test suite, and every experiment
+# table (E1-E18) into results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build 2>&1 | tee results/tests.txt
+
+for bench in build/bench/*; do
+  name=$(basename "$bench")
+  echo "== $name =="
+  "$bench" | tee "results/$name.txt"
+done
+
+echo
+echo "All experiment tables written to results/ — compare against EXPERIMENTS.md"

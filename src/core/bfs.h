@@ -1,0 +1,59 @@
+// Breadth-first search primitives and connectivity predicates.
+//
+// All functions accept an optional *alive* mask so that callers can ask
+// "is the graph still connected after removing these nodes/edges?"
+// without materializing a subgraph — the hot path of the P1/P2 verifier
+// and of every failure-injection experiment.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/graph.h"
+
+namespace lhg::core {
+
+/// Distance value meaning "unreached".
+inline constexpr std::int32_t kUnreachable = std::numeric_limits<std::int32_t>::max();
+
+/// Single-source BFS distances (hop counts) from `source`.
+/// Unreached nodes get kUnreachable.
+std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// BFS distances restricted to nodes with alive[u] == true.  `source`
+/// must be alive.  Dead nodes get kUnreachable.
+/// (Takes vector<bool> by reference — it cannot be viewed as a span.)
+std::vector<std::int32_t> bfs_distances_masked(const Graph& g, NodeId source,
+                                               const std::vector<bool>& alive);
+
+/// Eccentricity of `source`: max finite BFS distance.  Returns
+/// kUnreachable if some node is unreachable from `source`.
+std::int32_t eccentricity(const Graph& g, NodeId source);
+
+/// Connected-component labels in [0, #components); label of node 0's
+/// component is 0 when n > 0.
+struct Components {
+  std::vector<std::int32_t> label;  // per node
+  std::int32_t count = 0;
+};
+Components connected_components(const Graph& g);
+
+/// True iff the graph is connected.  The empty graph and the singleton
+/// are connected by convention.
+bool is_connected(const Graph& g);
+
+/// True iff the subgraph induced on nodes not in `removed_nodes` is
+/// connected.  Removing *all* nodes yields `true` by convention (there
+/// is nothing to disconnect); removing all but one yields `true`.
+bool is_connected_after_node_removal(const Graph& g,
+                                     std::span<const NodeId> removed_nodes);
+
+/// True iff the graph minus the listed edges is connected.  Edges absent
+/// from the graph are ignored.
+bool is_connected_after_edge_removal(const Graph& g,
+                                     std::span<const Edge> removed_edges);
+
+}  // namespace lhg::core

@@ -1,0 +1,368 @@
+#include "core/connectivity.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/bfs.h"
+#include "core/format.h"
+#include "core/maxflow.h"
+
+namespace lhg::core {
+
+namespace {
+
+void check_pair(const Graph& g, NodeId s, NodeId t) {
+  if (s < 0 || t < 0 || s >= g.num_nodes() || t >= g.num_nodes()) {
+    throw std::invalid_argument(
+        format("node pair ({}, {}) out of range for n={}", s, t, g.num_nodes()));
+  }
+  if (s == t) throw std::invalid_argument("s == t");
+}
+
+/// Unit-capacity digraph: every undirected edge becomes two opposing arcs.
+FlowNetwork edge_network(const Graph& g) {
+  FlowNetwork net(g.num_nodes());
+  for (Edge e : g.edges()) {
+    net.add_arc(e.u, e.v, 1);
+    net.add_arc(e.v, e.u, 1);
+  }
+  return net;
+}
+
+constexpr std::int32_t in_vertex(NodeId v) { return 2 * v; }
+constexpr std::int32_t out_vertex(NodeId v) { return 2 * v + 1; }
+
+/// Even's vertex-split network: v_in -> v_out with capacity 1 for every
+/// vertex, and u_out -> v_in / v_out -> u_in for every edge {u,v}.
+/// `arc_of_edge`, if non-null, receives (arc index -> directed u->v pair)
+/// for path extraction.
+///
+/// `edge_capacity` = 1 gives the same max-flow VALUE (internally
+/// disjoint paths, counting a direct s-t edge once) and is safe for
+/// adjacent query pairs.  Cut extraction instead needs edge arcs the
+/// min cut can never select, so minimum_vertex_cut passes n+1 — valid
+/// only for non-adjacent pairs, where every s-t cut must consist of
+/// split arcs.
+FlowNetwork split_network(
+    const Graph& g,
+    std::vector<std::pair<NodeId, NodeId>>* arc_to_edge = nullptr,
+    std::int64_t edge_capacity = 1) {
+  FlowNetwork net(2 * g.num_nodes());
+  std::vector<std::pair<NodeId, NodeId>> mapping;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    net.add_arc(in_vertex(v), out_vertex(v), 1);
+    mapping.emplace_back(-1, -1);  // internal arc, not an edge
+  }
+  for (Edge e : g.edges()) {
+    net.add_arc(out_vertex(e.u), in_vertex(e.v), edge_capacity);
+    mapping.emplace_back(e.u, e.v);
+    net.add_arc(out_vertex(e.v), in_vertex(e.u), edge_capacity);
+    mapping.emplace_back(e.v, e.u);
+  }
+  if (arc_to_edge != nullptr) *arc_to_edge = std::move(mapping);
+  return net;
+}
+
+bool is_complete(const Graph& g) {
+  const auto n = static_cast<std::int64_t>(g.num_nodes());
+  return g.num_edges() == n * (n - 1) / 2;
+}
+
+}  // namespace
+
+std::int32_t local_edge_connectivity(const Graph& g, NodeId s, NodeId t,
+                                     std::int32_t limit) {
+  check_pair(g, s, t);
+  FlowNetwork net = edge_network(g);
+  return static_cast<std::int32_t>(net.max_flow(s, t, limit));
+}
+
+std::int32_t local_vertex_connectivity(const Graph& g, NodeId s, NodeId t,
+                                       std::int32_t limit) {
+  check_pair(g, s, t);
+  FlowNetwork net = split_network(g);
+  return static_cast<std::int32_t>(
+      net.max_flow(out_vertex(s), in_vertex(t), limit));
+}
+
+std::int32_t edge_connectivity(const Graph& g, std::int32_t upper_limit) {
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("edge connectivity of the empty graph");
+  }
+  if (g.num_nodes() == 1) return 0;
+  if (!is_connected(g)) return 0;
+  // λ(G) = min over t != s of λ(s, t) for any fixed s, and λ <= δ(G).
+  std::int32_t best = std::min(g.min_degree(), upper_limit);
+  for (NodeId t = 1; t < g.num_nodes() && best > 0; ++t) {
+    best = std::min(best, local_edge_connectivity(g, 0, t, best));
+  }
+  return best;
+}
+
+std::int32_t vertex_connectivity(const Graph& g, std::int32_t upper_limit) {
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("vertex connectivity of the empty graph");
+  }
+  if (g.num_nodes() == 1) return 0;
+  if (!is_connected(g)) return 0;
+  if (is_complete(g)) return std::min(g.num_nodes() - 1, upper_limit);
+
+  // Even's pruning: κ is witnessed either between a minimum-degree
+  // vertex v and one of its non-neighbors, or between two non-adjacent
+  // neighbors of v.
+  NodeId v = 0;
+  for (NodeId u = 1; u < g.num_nodes(); ++u) {
+    if (g.degree(u) < g.degree(v)) v = u;
+  }
+  std::int32_t best = std::min(g.degree(v), upper_limit);
+  for (NodeId w = 0; w < g.num_nodes() && best > 0; ++w) {
+    if (w == v || g.has_edge(v, w)) continue;
+    best = std::min(best, local_vertex_connectivity(g, v, w, best));
+  }
+  const auto nbrs = g.neighbors(v);
+  for (std::size_t i = 0; i < nbrs.size() && best > 0; ++i) {
+    for (std::size_t j = i + 1; j < nbrs.size() && best > 0; ++j) {
+      if (g.has_edge(nbrs[i], nbrs[j])) continue;
+      best = std::min(best, local_vertex_connectivity(g, nbrs[i], nbrs[j], best));
+    }
+  }
+  return best;
+}
+
+bool is_k_vertex_connected(const Graph& g, std::int32_t k) {
+  if (k <= 0) return true;
+  if (g.num_nodes() <= k) return false;  // k-connected needs n >= k+1
+  if (g.min_degree() < k) return false;
+  if (k == 1) return is_connected(g);
+  return vertex_connectivity(g, k) >= k;
+}
+
+bool is_k_edge_connected(const Graph& g, std::int32_t k) {
+  if (k <= 0) return true;
+  if (g.num_nodes() < 2) return false;
+  if (g.min_degree() < k) return false;
+  if (k == 1) return is_connected(g);
+  return edge_connectivity(g, k) >= k;
+}
+
+std::optional<std::vector<std::vector<NodeId>>> vertex_disjoint_paths(
+    const Graph& g, NodeId s, NodeId t, std::int32_t count) {
+  check_pair(g, s, t);
+  if (count <= 0) return std::vector<std::vector<NodeId>>{};
+  std::vector<std::pair<NodeId, NodeId>> arc_to_edge;
+  FlowNetwork net = split_network(g, &arc_to_edge);
+  const auto flow = net.max_flow(out_vertex(s), in_vertex(t), count);
+  if (flow < count) return std::nullopt;
+
+  // Collect directed edges carrying flow and decompose into paths by
+  // walking from s.  Vertex capacities are 1, so each internal vertex
+  // appears on at most one path; any flow cycle (possible in principle)
+  // is dropped by the in-walk cycle check.
+  std::unordered_map<NodeId, std::vector<NodeId>> out_flow;
+  for (std::size_t a = 0; a < arc_to_edge.size(); ++a) {
+    const auto [from, to] = arc_to_edge[a];
+    if (from < 0) continue;  // internal split arc
+    if (net.flow_on(static_cast<std::int32_t>(a)) > 0) {
+      out_flow[from].push_back(to);
+    }
+  }
+  std::vector<std::vector<NodeId>> paths;
+  for (std::int32_t p = 0; p < count; ++p) {
+    std::vector<NodeId> path{s};
+    std::vector<std::int32_t> position(static_cast<std::size_t>(g.num_nodes()), -1);
+    position[static_cast<std::size_t>(s)] = 0;
+    while (path.back() != t) {
+      auto it = out_flow.find(path.back());
+      if (it == out_flow.end() || it->second.empty()) {
+        throw std::logic_error("flow decomposition: dead end");
+      }
+      const NodeId next = it->second.back();
+      it->second.pop_back();
+      const auto pos = position[static_cast<std::size_t>(next)];
+      if (pos >= 0) {
+        // Flow cycle: discard the loop portion.
+        for (std::size_t i = static_cast<std::size_t>(pos) + 1; i < path.size(); ++i) {
+          position[static_cast<std::size_t>(path[i])] = -1;
+        }
+        path.resize(static_cast<std::size_t>(pos) + 1);
+        continue;
+      }
+      position[static_cast<std::size_t>(next)] =
+          static_cast<std::int32_t>(path.size());
+      path.push_back(next);
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::optional<std::vector<NodeId>> minimum_vertex_cut(const Graph& g) {
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("minimum vertex cut of the empty graph");
+  }
+  if (is_complete(g)) return std::nullopt;
+
+  // Find the pair realizing κ (same probe set as vertex_connectivity),
+  // then read the cut off the residual network of that pair.
+  NodeId v = 0;
+  for (NodeId u = 1; u < g.num_nodes(); ++u) {
+    if (g.degree(u) < g.degree(v)) v = u;
+  }
+  std::int32_t best = g.degree(v) + 1;
+  std::pair<NodeId, NodeId> best_pair{-1, -1};
+  auto probe = [&](NodeId a, NodeId b) {
+    const auto c = local_vertex_connectivity(g, a, b, best);
+    if (c < best) {
+      best = c;
+      best_pair = {a, b};
+    }
+  };
+  for (NodeId w = 0; w < g.num_nodes(); ++w) {
+    if (w != v && !g.has_edge(v, w)) probe(v, w);
+  }
+  const auto nbrs = g.neighbors(v);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+      if (!g.has_edge(nbrs[i], nbrs[j])) probe(nbrs[i], nbrs[j]);
+    }
+  }
+  if (best_pair.first < 0) {
+    // Not complete, yet every probed pair was adjacent — cannot happen,
+    // but keep the invariant explicit.
+    throw std::logic_error("minimum_vertex_cut: no non-adjacent pair probed");
+  }
+
+  // Recompute the flow with uncuttable edge arcs (the best pair is
+  // non-adjacent by construction), so the min cut is split arcs only.
+  FlowNetwork net = split_network(g, nullptr,
+                                  static_cast<std::int64_t>(g.num_nodes()) + 1);
+  net.max_flow(out_vertex(best_pair.first), in_vertex(best_pair.second));
+  const auto reachable = net.min_cut_source_side(out_vertex(best_pair.first));
+  std::vector<NodeId> cut;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    // A vertex is in the cut iff its split arc crosses the residual cut.
+    if (reachable[static_cast<std::size_t>(in_vertex(u))] &&
+        !reachable[static_cast<std::size_t>(out_vertex(u))]) {
+      cut.push_back(u);
+    }
+  }
+  return cut;
+}
+
+std::vector<NodeId> articulation_points(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<std::int32_t> disc(n, -1);
+  std::vector<std::int32_t> low(n, 0);
+  std::vector<NodeId> parent(n, -1);
+  std::vector<bool> is_cut(n, false);
+  std::int32_t timer = 0;
+
+  struct Frame {
+    NodeId node;
+    std::size_t next_child = 0;
+  };
+  std::vector<Frame> stack;
+
+  for (NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (disc[static_cast<std::size_t>(root)] != -1) continue;
+    std::int32_t root_children = 0;
+    stack.push_back({root});
+    disc[static_cast<std::size_t>(root)] = low[static_cast<std::size_t>(root)] = timer++;
+    while (!stack.empty()) {
+      auto& frame = stack.back();
+      const NodeId u = frame.node;
+      const auto nbrs = g.neighbors(u);
+      if (frame.next_child < nbrs.size()) {
+        const NodeId v = nbrs[frame.next_child++];
+        if (disc[static_cast<std::size_t>(v)] == -1) {
+          parent[static_cast<std::size_t>(v)] = u;
+          if (u == root) ++root_children;
+          disc[static_cast<std::size_t>(v)] = low[static_cast<std::size_t>(v)] = timer++;
+          stack.push_back({v});
+        } else if (v != parent[static_cast<std::size_t>(u)]) {
+          low[static_cast<std::size_t>(u)] =
+              std::min(low[static_cast<std::size_t>(u)], disc[static_cast<std::size_t>(v)]);
+        }
+      } else {
+        stack.pop_back();
+        const NodeId p = parent[static_cast<std::size_t>(u)];
+        if (p != -1) {
+          low[static_cast<std::size_t>(p)] =
+              std::min(low[static_cast<std::size_t>(p)], low[static_cast<std::size_t>(u)]);
+          if (p != root &&
+              low[static_cast<std::size_t>(u)] >= disc[static_cast<std::size_t>(p)]) {
+            is_cut[static_cast<std::size_t>(p)] = true;
+          }
+        }
+      }
+    }
+    if (root_children > 1) is_cut[static_cast<std::size_t>(root)] = true;
+  }
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (is_cut[static_cast<std::size_t>(u)]) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<Edge> bridges(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<std::int32_t> disc(n, -1);
+  std::vector<std::int32_t> low(n, 0);
+  std::vector<NodeId> parent(n, -1);
+  // Parallel-edge-safe parent skip: remember whether the tree edge to the
+  // parent has been skipped once already.  Graph is simple, so a single
+  // skip suffices.
+  std::vector<bool> parent_skipped(n, false);
+  std::int32_t timer = 0;
+  std::vector<Edge> out;
+
+  struct Frame {
+    NodeId node;
+    std::size_t next_child = 0;
+  };
+  std::vector<Frame> stack;
+
+  for (NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (disc[static_cast<std::size_t>(root)] != -1) continue;
+    stack.push_back({root});
+    disc[static_cast<std::size_t>(root)] = low[static_cast<std::size_t>(root)] = timer++;
+    while (!stack.empty()) {
+      auto& frame = stack.back();
+      const NodeId u = frame.node;
+      const auto nbrs = g.neighbors(u);
+      if (frame.next_child < nbrs.size()) {
+        const NodeId v = nbrs[frame.next_child++];
+        if (v == parent[static_cast<std::size_t>(u)] &&
+            !parent_skipped[static_cast<std::size_t>(u)]) {
+          parent_skipped[static_cast<std::size_t>(u)] = true;
+          continue;
+        }
+        if (disc[static_cast<std::size_t>(v)] == -1) {
+          parent[static_cast<std::size_t>(v)] = u;
+          parent_skipped[static_cast<std::size_t>(v)] = false;
+          disc[static_cast<std::size_t>(v)] = low[static_cast<std::size_t>(v)] = timer++;
+          stack.push_back({v});
+        } else {
+          low[static_cast<std::size_t>(u)] =
+              std::min(low[static_cast<std::size_t>(u)], disc[static_cast<std::size_t>(v)]);
+        }
+      } else {
+        stack.pop_back();
+        const NodeId p = parent[static_cast<std::size_t>(u)];
+        if (p != -1) {
+          low[static_cast<std::size_t>(p)] =
+              std::min(low[static_cast<std::size_t>(p)], low[static_cast<std::size_t>(u)]);
+          if (low[static_cast<std::size_t>(u)] > disc[static_cast<std::size_t>(p)]) {
+            out.push_back(canonical(p, u));
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lhg::core

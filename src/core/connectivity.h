@@ -1,0 +1,75 @@
+// Exact vertex and edge connectivity via Menger's theorem and max-flow.
+//
+// The LHG definition is stated in terms of κ(G) (node connectivity, P1)
+// and λ(G) (link connectivity, P2).  Both are computed exactly:
+//
+//  * λ(s,t) is a unit-capacity max-flow where every undirected edge
+//    becomes two opposing arcs of capacity 1.
+//  * κ(s,t) splits every vertex v into v_in → v_out with an arc of
+//    capacity 1 (Even's construction), so each internal vertex can carry
+//    at most one path.
+//  * Global values use the Even / Esfahanian–Hakimi style pruning: fix a
+//    minimum-degree vertex v, probe v against its non-neighbors, then
+//    probe pairs of v's neighbors — O(n + δ²) flow calls instead of
+//    O(n²).
+//
+// All global routines accept an `upper_limit` so that yes/no questions
+// ("is κ ≥ k?") stop each flow as soon as k augmenting paths exist.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/graph.h"
+
+namespace lhg::core {
+
+/// Number of edge-disjoint s-t paths (= min s-t edge cut), capped at
+/// `limit`.  Requires s != t.
+std::int32_t local_edge_connectivity(const Graph& g, NodeId s, NodeId t,
+                                     std::int32_t limit = INT32_MAX);
+
+/// Number of internally-vertex-disjoint s-t paths (counting a direct
+/// {s,t} edge as one path), capped at `limit`.  Requires s != t.
+std::int32_t local_vertex_connectivity(const Graph& g, NodeId s, NodeId t,
+                                       std::int32_t limit = INT32_MAX);
+
+/// Global edge connectivity λ(G), capped at `upper_limit`.
+/// λ of a disconnected graph is 0; λ of a single node is defined here as
+/// n-1 = 0; throws on the empty graph.
+std::int32_t edge_connectivity(const Graph& g,
+                               std::int32_t upper_limit = INT32_MAX);
+
+/// Global vertex connectivity κ(G), capped at `upper_limit`.
+/// κ(K_n) = n-1; κ of a disconnected graph is 0; throws on the empty
+/// graph.
+std::int32_t vertex_connectivity(const Graph& g,
+                                 std::int32_t upper_limit = INT32_MAX);
+
+/// True iff κ(G) >= k (P1).  k <= 0 is trivially true.
+bool is_k_vertex_connected(const Graph& g, std::int32_t k);
+
+/// True iff λ(G) >= k (P2).  k <= 0 is trivially true.
+bool is_k_edge_connected(const Graph& g, std::int32_t k);
+
+/// Extracts `count` pairwise internally-vertex-disjoint s-t paths (each
+/// a node sequence s ... t).  Returns std::nullopt if fewer than `count`
+/// disjoint paths exist.  The returned paths are simple and share no
+/// internal vertex; a direct edge {s,t} may appear as the 2-node path.
+std::optional<std::vector<std::vector<NodeId>>> vertex_disjoint_paths(
+    const Graph& g, NodeId s, NodeId t, std::int32_t count);
+
+/// A minimum vertex cut separating some pair of non-adjacent vertices
+/// (witness for κ(G) when G is not complete).  Returns std::nullopt for
+/// complete graphs (no vertex cut exists).
+std::optional<std::vector<NodeId>> minimum_vertex_cut(const Graph& g);
+
+/// Articulation points (cut vertices) via Tarjan's lowlink DFS.
+std::vector<NodeId> articulation_points(const Graph& g);
+
+/// Bridges (cut edges) via Tarjan's lowlink DFS, canonical order.
+std::vector<Edge> bridges(const Graph& g);
+
+}  // namespace lhg::core

@@ -1,0 +1,80 @@
+#include "core/cut_census.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/bfs.h"
+#include "core/format.h"
+
+namespace lhg::core {
+
+namespace {
+
+void check_size(const Graph& g, std::int32_t subset_size) {
+  if (subset_size <= 0 || subset_size >= g.num_nodes()) {
+    throw std::invalid_argument(
+        format("cut census: subset size {} out of range for n={}",
+               subset_size, g.num_nodes()));
+  }
+}
+
+}  // namespace
+
+CutCensus fatal_node_subsets(const Graph& g, std::int32_t subset_size,
+                             std::int64_t max_subsets) {
+  check_size(g, subset_size);
+  CutCensus census;
+  std::vector<NodeId> subset(static_cast<std::size_t>(subset_size));
+  for (std::int32_t i = 0; i < subset_size; ++i) {
+    subset[static_cast<std::size_t>(i)] = i;
+  }
+  const NodeId n = g.num_nodes();
+  while (true) {
+    if (max_subsets >= 0 && census.subsets_checked >= max_subsets) {
+      census.truncated = true;
+      break;
+    }
+    ++census.subsets_checked;
+    if (!is_connected_after_node_removal(g, subset)) ++census.fatal;
+
+    // Next combination in lexicographic order.
+    std::int32_t slot = subset_size - 1;
+    while (slot >= 0 &&
+           subset[static_cast<std::size_t>(slot)] ==
+               n - subset_size + slot) {
+      --slot;
+    }
+    if (slot < 0) break;
+    ++subset[static_cast<std::size_t>(slot)];
+    for (std::int32_t fill = slot + 1; fill < subset_size; ++fill) {
+      subset[static_cast<std::size_t>(fill)] =
+          subset[static_cast<std::size_t>(fill - 1)] + 1;
+    }
+  }
+  return census;
+}
+
+CutCensus sampled_fatal_subsets(const Graph& g, std::int32_t subset_size,
+                                std::int64_t trials, Rng& rng) {
+  check_size(g, subset_size);
+  if (trials < 0) throw std::invalid_argument("cut census: negative trials");
+  CutCensus census;
+  for (std::int64_t t = 0; t < trials; ++t) {
+    const auto sample =
+        rng.sample_without_replacement(g.num_nodes(), subset_size);
+    const std::vector<NodeId> subset(sample.begin(), sample.end());
+    ++census.subsets_checked;
+    if (!is_connected_after_node_removal(g, subset)) ++census.fatal;
+  }
+  return census;
+}
+
+double subset_count(std::int64_t n, std::int32_t size) {
+  double result = 1;
+  for (std::int32_t i = 0; i < size; ++i) {
+    result *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+}  // namespace lhg::core

@@ -1,0 +1,105 @@
+#include "core/diameter.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/bfs.h"
+
+namespace lhg::core {
+
+namespace {
+
+void require_connected(const Graph& g) {
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("diameter of the empty graph is undefined");
+  }
+  if (!is_connected(g)) {
+    throw std::invalid_argument("diameter of a disconnected graph is undefined");
+  }
+}
+
+/// Max finite value and its argmax in a distance vector.
+std::pair<std::int32_t, NodeId> farthest(const std::vector<std::int32_t>& dist) {
+  std::int32_t best = 0;
+  NodeId arg = 0;
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    if (dist[i] != kUnreachable && dist[i] > best) {
+      best = dist[i];
+      arg = static_cast<NodeId>(i);
+    }
+  }
+  return {best, arg};
+}
+
+}  // namespace
+
+std::int32_t diameter_apsp(const Graph& g) {
+  require_connected(g);
+  std::int32_t best = 0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    best = std::max(best, farthest(bfs_distances(g, s)).first);
+  }
+  return best;
+}
+
+std::int32_t diameter(const Graph& g) {
+  require_connected(g);
+  if (g.num_nodes() == 1) return 0;
+
+  // Double sweep: BFS from 0, then from the farthest node found; that
+  // node r is a good iFUB root and the sweep yields a lower bound.
+  const auto d0 = bfs_distances(g, 0);
+  const NodeId far0 = farthest(d0).second;
+  auto dr = bfs_distances(g, far0);
+  auto [lower, far1] = farthest(dr);
+  // Root the iFUB search at the midpoint of the double-sweep path for a
+  // smaller eccentricity; approximated by the far node's BFS tree here.
+  const auto d_mid = bfs_distances(g, far1);
+  const auto ecc_mid = farthest(d_mid).first;
+  const auto& levels = d_mid;
+
+  // Order nodes by decreasing level in the BFS tree of the root.
+  std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) order[static_cast<std::size_t>(u)] = u;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return levels[static_cast<std::size_t>(a)] > levels[static_cast<std::size_t>(b)];
+  });
+
+  std::int32_t lb = std::max(lower, ecc_mid);
+  std::int32_t ub = 2 * ecc_mid;
+  for (NodeId u : order) {
+    const std::int32_t level = levels[static_cast<std::size_t>(u)];
+    if (lb >= 2 * level) break;  // no deeper node can beat the bound
+    if (ub <= lb) break;
+    const auto du = bfs_distances(g, u);
+    lb = std::max(lb, farthest(du).first);
+  }
+  return lb;
+}
+
+double average_path_length(const Graph& g) {
+  require_connected(g);
+  if (g.num_nodes() < 2) {
+    throw std::invalid_argument("average path length needs n >= 2");
+  }
+  long double total = 0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    const auto dist = bfs_distances(g, s);
+    for (std::int32_t d : dist) total += d;
+  }
+  const long double pairs =
+      static_cast<long double>(g.num_nodes()) * (g.num_nodes() - 1);
+  return static_cast<double>(total / pairs);
+}
+
+std::int32_t radius(const Graph& g) {
+  require_connected(g);
+  std::int32_t best = kUnreachable;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    best = std::min(best, farthest(bfs_distances(g, s)).first);
+  }
+  return best == kUnreachable ? 0 : best;
+}
+
+}  // namespace lhg::core

@@ -1,0 +1,37 @@
+// Exact diameter and distance statistics.
+//
+// The headline experiment of the paper (E1 in DESIGN.md) contrasts the
+// Θ(n/k) diameter of circulant Harary graphs with the O(log n) diameter
+// of LHGs, so exact diameters on graphs of tens of thousands of nodes
+// must be affordable.  `diameter()` implements the iFUB scheme
+// (Crescenzi et al.): BFS from a far node gives a lower bound, then
+// nodes are examined by decreasing BFS level, tightening an upper bound
+// until the two meet.  On low-diameter graphs this typically finishes
+// after a handful of BFS runs; the worst case degrades to all-pairs BFS,
+// which is what `diameter_apsp()` does directly (kept as the test oracle).
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.h"
+
+namespace lhg::core {
+
+/// Exact diameter via iFUB.  Throws std::invalid_argument if the graph
+/// is disconnected (diameter undefined) or empty.
+std::int32_t diameter(const Graph& g);
+
+/// Exact diameter via all-pairs BFS.  O(n·m); test oracle for
+/// `diameter()`.  Same preconditions.
+std::int32_t diameter_apsp(const Graph& g);
+
+/// Mean shortest-path length over all ordered pairs (s != t), via
+/// all-pairs BFS.  Throws if disconnected or n < 2.
+double average_path_length(const Graph& g);
+
+/// Radius: minimum eccentricity over all nodes.  Throws if disconnected
+/// or empty.
+std::int32_t radius(const Graph& g);
+
+}  // namespace lhg::core

@@ -1,0 +1,77 @@
+#include "core/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "core/format.h"
+
+namespace lhg::core {
+
+namespace {
+
+struct Search {
+  std::vector<double> dist;
+  std::vector<NodeId> parent;
+};
+
+Search run_dijkstra(const Graph& g, NodeId source, const EdgeWeightFn& weight,
+                    NodeId stop_at) {
+  if (source < 0 || source >= g.num_nodes()) {
+    throw std::invalid_argument(format("dijkstra: bad source {}", source));
+  }
+  Search search;
+  search.dist.assign(static_cast<std::size_t>(g.num_nodes()),
+                     kInfiniteDistance);
+  search.parent.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  search.dist[static_cast<std::size_t>(source)] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > search.dist[static_cast<std::size_t>(u)]) continue;
+    if (u == stop_at) break;
+    for (NodeId v : g.neighbors(u)) {
+      const double w = weight(u, v);
+      if (w < 0) {
+        throw std::invalid_argument(
+            format("dijkstra: negative weight on ({}, {})", u, v));
+      }
+      if (d + w < search.dist[static_cast<std::size_t>(v)]) {
+        search.dist[static_cast<std::size_t>(v)] = d + w;
+        search.parent[static_cast<std::size_t>(v)] = u;
+        heap.push({d + w, v});
+      }
+    }
+  }
+  return search;
+}
+
+}  // namespace
+
+std::vector<double> dijkstra_distances(const Graph& g, NodeId source,
+                                       const EdgeWeightFn& weight) {
+  return run_dijkstra(g, source, weight, -1).dist;
+}
+
+std::vector<NodeId> dijkstra_path(const Graph& g, NodeId source, NodeId target,
+                                  const EdgeWeightFn& weight) {
+  if (target < 0 || target >= g.num_nodes()) {
+    throw std::invalid_argument(format("dijkstra: bad target {}", target));
+  }
+  const auto search = run_dijkstra(g, source, weight, target);
+  if (search.dist[static_cast<std::size_t>(target)] == kInfiniteDistance) {
+    return {};
+  }
+  std::vector<NodeId> path;
+  for (NodeId at = target; at != -1;
+       at = search.parent[static_cast<std::size_t>(at)]) {
+    path.push_back(at);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace lhg::core

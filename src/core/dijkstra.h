@@ -1,0 +1,37 @@
+// Weighted single-source shortest paths (Dijkstra, binary heap).
+//
+// The core graph is unweighted; weights enter through the network layer
+// (per-link latencies).  This header computes latency-weighted
+// distances for analysis and as the oracle for flood-timing tests: a
+// flood's delivery time at v equals the weighted shortest-path distance
+// from the source, because flooding explores every path concurrently.
+
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "core/graph.h"
+
+namespace lhg::core {
+
+/// Weight callback: must return a non-negative weight for an existing
+/// edge {u, v}.  Called once per directed traversal.
+using EdgeWeightFn = std::function<double(NodeId u, NodeId v)>;
+
+inline constexpr double kInfiniteDistance =
+    std::numeric_limits<double>::infinity();
+
+/// Weighted distances from `source`; unreachable nodes get
+/// kInfiniteDistance.  Throws std::invalid_argument on a bad source or
+/// a negative weight.
+std::vector<double> dijkstra_distances(const Graph& g, NodeId source,
+                                       const EdgeWeightFn& weight);
+
+/// Weighted shortest path from `source` to `target` (inclusive), or an
+/// empty vector if unreachable.
+std::vector<NodeId> dijkstra_path(const Graph& g, NodeId source,
+                                  NodeId target, const EdgeWeightFn& weight);
+
+}  // namespace lhg::core

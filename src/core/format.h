@@ -1,0 +1,96 @@
+// Minimal "{}"-style string formatting.
+//
+// libstdc++ 12 does not ship <format>, and this library needs readable
+// diagnostics in exceptions, table printers and DOT export.  `format`
+// substitutes each "{}" in order with the streamed representation of the
+// corresponding argument; "{:.Nf}" is supported for fixed-precision
+// floating point since the benchmark tables need aligned numeric columns.
+
+#pragma once
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace lhg::core {
+
+namespace detail {
+
+inline void format_one(std::ostringstream& out, std::string_view spec,
+                       const auto& value) {
+  // spec is the text between '{' and '}' (may be empty or ":.Nf").
+  if (spec.empty()) {
+    out << value;
+    return;
+  }
+  if (spec.size() >= 4 && spec[0] == ':' && spec[1] == '.' &&
+      spec.back() == 'f') {
+    const int precision = std::stoi(std::string(spec.substr(2, spec.size() - 3)));
+    const auto old_flags = out.flags();
+    const auto old_precision = out.precision();
+    out << std::fixed << std::setprecision(precision) << value;
+    out.flags(old_flags);
+    out.precision(old_precision);
+    return;
+  }
+  throw std::invalid_argument("format: unsupported spec '" + std::string(spec) + "'");
+}
+
+inline void format_impl(std::ostringstream& out, std::string_view fmt) {
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] == '{' && i + 1 < fmt.size() && fmt[i + 1] == '{') {
+      out << '{';
+      ++i;
+    } else if (fmt[i] == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+      out << '}';
+      ++i;
+    } else if (fmt[i] == '{') {
+      throw std::invalid_argument("format: more placeholders than arguments");
+    } else {
+      out << fmt[i];
+    }
+  }
+}
+
+template <typename First, typename... Rest>
+void format_impl(std::ostringstream& out, std::string_view fmt,
+                 const First& first, const Rest&... rest) {
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] == '{' && i + 1 < fmt.size() && fmt[i + 1] == '{') {
+      out << '{';
+      ++i;
+      continue;
+    }
+    if (fmt[i] == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+      out << '}';
+      ++i;
+      continue;
+    }
+    if (fmt[i] == '{') {
+      const auto close = fmt.find('}', i);
+      if (close == std::string_view::npos) {
+        throw std::invalid_argument("format: unterminated placeholder");
+      }
+      format_one(out, fmt.substr(i + 1, close - i - 1), first);
+      format_impl(out, fmt.substr(close + 1), rest...);
+      return;
+    }
+    out << fmt[i];
+  }
+  throw std::invalid_argument("format: more arguments than placeholders");
+}
+
+}  // namespace detail
+
+/// Formats `fmt`, replacing each "{}" (or "{:.Nf}") with the next
+/// argument.  Throws std::invalid_argument on arity mismatch.
+template <typename... Args>
+std::string format(std::string_view fmt, const Args&... args) {
+  std::ostringstream out;
+  detail::format_impl(out, fmt, args...);
+  return out.str();
+}
+
+}  // namespace lhg::core

@@ -1,0 +1,148 @@
+#include "core/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/format.h"
+
+namespace lhg::core {
+
+namespace {
+
+void validate_edge(NodeId num_nodes, Edge e) {
+  if (e.u < 0 || e.v < 0 || e.u >= num_nodes || e.v >= num_nodes) {
+    throw std::invalid_argument(
+        format("edge ({}, {}) out of range for n={}", e.u, e.v, num_nodes));
+  }
+  if (e.u == e.v) {
+    throw std::invalid_argument(format("self-loop at node {}", e.u));
+  }
+}
+
+}  // namespace
+
+Graph Graph::from_edges(NodeId num_nodes, std::span<const Edge> edges) {
+  if (num_nodes < 0) throw std::invalid_argument("negative node count");
+  Graph g;
+  g.edges_.reserve(edges.size());
+  for (Edge e : edges) {
+    validate_edge(num_nodes, e);
+    g.edges_.push_back(canonical(e.u, e.v));
+  }
+  std::sort(g.edges_.begin(), g.edges_.end());
+  g.edges_.erase(std::unique(g.edges_.begin(), g.edges_.end()), g.edges_.end());
+
+  // Counting pass, then CSR fill.
+  g.offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (Edge e : g.edges_) {
+    ++g.offsets_[static_cast<std::size_t>(e.u) + 1];
+    ++g.offsets_[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adjacency_.resize(static_cast<std::size_t>(g.offsets_.back()));
+  std::vector<std::int32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (Edge e : g.edges_) {
+    g.adjacency_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.u)]++)] = e.v;
+    g.adjacency_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.v)]++)] = e.u;
+  }
+  // Edges were inserted in sorted order, so each node's slice is sorted
+  // with respect to the partner that comes from `e.v`; the `e.u` inserts
+  // interleave, so sort each slice to restore the invariant.
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    auto* lo = g.adjacency_.data() + g.offsets_[static_cast<std::size_t>(u)];
+    auto* hi = g.adjacency_.data() + g.offsets_[static_cast<std::size_t>(u) + 1];
+    std::sort(lo, hi);
+  }
+  return g;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u < 0 || v < 0 || u >= num_nodes() || v >= num_nodes() || u == v) {
+    return false;
+  }
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::int32_t Graph::min_degree() const {
+  std::int32_t best = num_nodes() == 0 ? 0 : degree(0);
+  for (NodeId u = 1; u < num_nodes(); ++u) best = std::min(best, degree(u));
+  return best;
+}
+
+std::int32_t Graph::max_degree() const {
+  std::int32_t best = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) best = std::max(best, degree(u));
+  return best;
+}
+
+Graph Graph::without_edge(NodeId u, NodeId v) const {
+  if (!has_edge(u, v)) {
+    throw std::invalid_argument(format("edge ({}, {}) not present", u, v));
+  }
+  const Edge target = canonical(u, v);
+  std::vector<Edge> rest;
+  rest.reserve(edges_.size() - 1);
+  for (Edge e : edges_) {
+    if (e != target) rest.push_back(e);
+  }
+  return from_edges(num_nodes(), rest);
+}
+
+Graph Graph::induced_without(std::span<const NodeId> removed,
+                             std::vector<NodeId>* mapping) const {
+  std::vector<bool> gone(static_cast<std::size_t>(num_nodes()), false);
+  for (NodeId r : removed) {
+    if (r < 0 || r >= num_nodes()) {
+      throw std::invalid_argument(format("removed node {} out of range", r));
+    }
+    gone[static_cast<std::size_t>(r)] = true;
+  }
+  std::vector<NodeId> relabel(static_cast<std::size_t>(num_nodes()), -1);
+  NodeId next = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    if (!gone[static_cast<std::size_t>(u)]) relabel[static_cast<std::size_t>(u)] = next++;
+  }
+  std::vector<Edge> kept;
+  kept.reserve(edges_.size());
+  for (Edge e : edges_) {
+    const NodeId nu = relabel[static_cast<std::size_t>(e.u)];
+    const NodeId nv = relabel[static_cast<std::size_t>(e.v)];
+    if (nu >= 0 && nv >= 0) kept.push_back({nu, nv});
+  }
+  if (mapping != nullptr) *mapping = std::move(relabel);
+  return from_edges(next, kept);
+}
+
+GraphBuilder::GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {
+  if (num_nodes < 0) throw std::invalid_argument("negative node count");
+}
+
+void GraphBuilder::check_endpoint(NodeId x) const {
+  if (x < 0 || x >= num_nodes_) {
+    throw std::invalid_argument(
+        format("node {} out of range for n={}", x, num_nodes_));
+  }
+}
+
+bool GraphBuilder::add_edge(NodeId u, NodeId v) {
+  check_endpoint(u);
+  check_endpoint(v);
+  if (u == v) throw std::invalid_argument(format("self-loop at node {}", u));
+  if (!seen_.insert(edge_key(u, v)).second) return false;
+  edges_.push_back(canonical(u, v));
+  return true;
+}
+
+Graph GraphBuilder::build() const {
+  return Graph::from_edges(num_nodes_, edges_);
+}
+
+std::string describe(const Graph& g) {
+  return format("Graph(n={}, m={}, deg {}..{})", g.num_nodes(), g.num_edges(),
+                g.min_degree(), g.max_degree());
+}
+
+}  // namespace lhg::core

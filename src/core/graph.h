@@ -1,0 +1,149 @@
+// Compact immutable undirected graph.
+//
+// `Graph` stores adjacency in CSR (compressed sparse row) form: one
+// offsets array of size n+1 and one flat neighbor array of size 2m, with
+// each node's neighbor slice kept sorted so membership queries are
+// O(log deg).  Graphs are value types — cheap to move, safe to copy —
+// and immutable after construction, which lets every algorithm in this
+// library take `const Graph&` without defensive copies.
+//
+// Mutation happens through `GraphBuilder`, which deduplicates parallel
+// edges and rejects self-loops (an LHG is a simple graph by definition).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace lhg::core {
+
+/// Node identifier: dense indices in [0, num_nodes()).
+using NodeId = std::int32_t;
+
+/// An undirected edge in canonical form (u < v after normalization).
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend constexpr bool operator==(const Edge&, const Edge&) = default;
+  friend constexpr auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Canonicalizes an edge so that u <= v.
+constexpr Edge canonical(NodeId a, NodeId b) {
+  return a < b ? Edge{a, b} : Edge{b, a};
+}
+
+/// Packs a canonical edge into a single 64-bit key (for hashing).
+constexpr std::uint64_t edge_key(NodeId a, NodeId b) {
+  const Edge e = canonical(a, b);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.u)) << 32) |
+         static_cast<std::uint32_t>(e.v);
+}
+
+class Graph {
+ public:
+  /// Empty graph (0 nodes, 0 edges).
+  Graph() = default;
+
+  /// Builds a graph with `num_nodes` nodes from an arbitrary edge list.
+  /// Edges are normalized, deduplicated, and validated (endpoints in
+  /// range, no self-loops).  Throws std::invalid_argument on bad input.
+  static Graph from_edges(NodeId num_nodes, std::span<const Edge> edges);
+
+  /// Number of nodes n.
+  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.size()) - 1; }
+
+  /// Number of undirected edges m.
+  std::int64_t num_edges() const { return static_cast<std::int64_t>(edges_.size()); }
+
+  /// Sorted neighbors of `u`.
+  std::span<const NodeId> neighbors(NodeId u) const {
+    const auto lo = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(u)]);
+    const auto hi = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(u) + 1]);
+    return {adjacency_.data() + lo, hi - lo};
+  }
+
+  /// Degree of `u`.
+  std::int32_t degree(NodeId u) const {
+    return offsets_[static_cast<std::size_t>(u) + 1] -
+           offsets_[static_cast<std::size_t>(u)];
+  }
+
+  /// True iff the edge {u,v} is present.  O(log deg(u)).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// All edges in canonical (u < v) lexicographic order.
+  std::span<const Edge> edges() const { return edges_; }
+
+  std::int32_t min_degree() const;
+  std::int32_t max_degree() const;
+  double average_degree() const {
+    return num_nodes() == 0 ? 0.0
+                            : 2.0 * static_cast<double>(num_edges()) /
+                                  static_cast<double>(num_nodes());
+  }
+
+  /// True iff every node has degree exactly `d`.
+  bool is_regular(std::int32_t d) const {
+    return num_nodes() > 0 && min_degree() == d && max_degree() == d;
+  }
+
+  /// Returns the graph with edge {u,v} removed.  Throws if absent.
+  Graph without_edge(NodeId u, NodeId v) const;
+
+  /// Returns the subgraph induced on the nodes NOT in `removed`,
+  /// relabeled to a dense [0, n-|removed|) id space.  `mapping`, if
+  /// non-null, receives old-id -> new-id (-1 for removed nodes).
+  Graph induced_without(std::span<const NodeId> removed,
+                        std::vector<NodeId>* mapping = nullptr) const;
+
+  /// Structural equality (same node count and same canonical edge set).
+  friend bool operator==(const Graph& a, const Graph& b) {
+    return a.offsets_ == b.offsets_ && a.edges_ == b.edges_;
+  }
+
+ private:
+  std::vector<std::int32_t> offsets_{0};  // size n+1
+  std::vector<NodeId> adjacency_;      // size 2m, per-node sorted
+  std::vector<Edge> edges_;            // size m, canonical sorted
+};
+
+/// Incremental construction of a `Graph`.  O(1) amortized per edge.
+/// Not thread-safe.
+class GraphBuilder {
+ public:
+  /// Prepares a builder for `num_nodes` nodes.  Throws if negative.
+  explicit GraphBuilder(NodeId num_nodes);
+
+  /// Adds the undirected edge {u,v}.  Self-loops throw; duplicate
+  /// insertions are idempotent.  Returns true if the edge was new.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// True iff {u,v} has been added.
+  bool has_edge(NodeId u, NodeId v) const {
+    return seen_.contains(edge_key(u, v));
+  }
+
+  NodeId num_nodes() const { return num_nodes_; }
+  std::int64_t num_edges() const { return static_cast<std::int64_t>(edges_.size()); }
+
+  /// Finalizes into an immutable Graph.  The builder may be reused
+  /// afterwards (it retains its edges).
+  Graph build() const;
+
+ private:
+  void check_endpoint(NodeId x) const;
+
+  NodeId num_nodes_ = 0;
+  std::vector<Edge> edges_;                // canonical, insertion order
+  std::unordered_set<std::uint64_t> seen_;  // packed edge keys for dedup
+};
+
+/// Human-readable one-line summary, e.g. "Graph(n=14, m=21, deg 3..3)".
+std::string describe(const Graph& g);
+
+}  // namespace lhg::core

@@ -1,0 +1,80 @@
+#include "core/graph_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/format.h"
+
+namespace lhg::core {
+
+std::string to_dot(const Graph& g, const std::string& name) {
+  std::ostringstream out;
+  out << "graph " << name << " {\n";
+  out << "  node [shape=circle];\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    out << "  " << u << ";\n";
+  }
+  for (Edge e : g.edges()) {
+    out << "  " << e.u << " -- " << e.v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (Edge e : g.edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  auto next_data_line = [&](std::string& into) -> bool {
+    while (std::getline(in, into)) {
+      if (!into.empty() && into[0] != '#') return true;
+    }
+    return false;
+  };
+  if (!next_data_line(line)) {
+    throw std::invalid_argument("edge list: missing header");
+  }
+  std::istringstream header(line);
+  std::int64_t n = -1;
+  std::int64_t m = -1;
+  if (!(header >> n >> m) || n < 0 || m < 0) {
+    throw std::invalid_argument("edge list: malformed header '" + line + "'");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    if (!next_data_line(line)) {
+      throw std::invalid_argument(
+          format("edge list: expected {} edges, got {}", m, i));
+    }
+    std::istringstream row(line);
+    std::int64_t u = -1;
+    std::int64_t v = -1;
+    if (!(row >> u >> v)) {
+      throw std::invalid_argument("edge list: malformed edge '" + line + "'");
+    }
+    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
+  }
+  return Graph::from_edges(static_cast<NodeId>(n), edges);
+}
+
+std::string to_edge_list_string(const Graph& g) {
+  std::ostringstream out;
+  write_edge_list(g, out);
+  return out.str();
+}
+
+Graph from_edge_list_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_edge_list(in);
+}
+
+}  // namespace lhg::core

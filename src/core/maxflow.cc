@@ -1,0 +1,120 @@
+#include "core/maxflow.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "core/format.h"
+
+namespace lhg::core {
+
+FlowNetwork::FlowNetwork(std::int32_t num_vertices) {
+  if (num_vertices < 0) throw std::invalid_argument("negative vertex count");
+  head_.resize(static_cast<std::size_t>(num_vertices));
+}
+
+std::int32_t FlowNetwork::add_arc(std::int32_t u, std::int32_t v,
+                                  std::int64_t capacity) {
+  if (u < 0 || v < 0 || u >= num_vertices() || v >= num_vertices()) {
+    throw std::invalid_argument(format("arc ({}, {}) out of range", u, v));
+  }
+  if (capacity < 0) throw std::invalid_argument("negative capacity");
+  auto& fwd_list = head_[static_cast<std::size_t>(u)];
+  auto& rev_list = head_[static_cast<std::size_t>(v)];
+  const auto fwd_slot = static_cast<std::int32_t>(fwd_list.size());
+  const auto rev_slot = static_cast<std::int32_t>(rev_list.size()) +
+                        (u == v ? 1 : 0);
+  fwd_list.push_back({v, rev_slot, capacity, capacity});
+  rev_list.push_back({u, fwd_slot, 0, 0});
+  arc_index_.emplace_back(u, fwd_slot);
+  return static_cast<std::int32_t>(arc_index_.size()) - 1;
+}
+
+bool FlowNetwork::build_levels(std::int32_t source, std::int32_t sink) {
+  level_.assign(head_.size(), -1);
+  std::deque<std::int32_t> queue{source};
+  level_[static_cast<std::size_t>(source)] = 0;
+  while (!queue.empty()) {
+    const std::int32_t u = queue.front();
+    queue.pop_front();
+    for (const Arc& a : head_[static_cast<std::size_t>(u)]) {
+      if (a.capacity > 0 && level_[static_cast<std::size_t>(a.to)] < 0) {
+        level_[static_cast<std::size_t>(a.to)] =
+            level_[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] >= 0;
+}
+
+std::int64_t FlowNetwork::push(std::int32_t u, std::int32_t sink,
+                               std::int64_t budget) {
+  if (u == sink) return budget;
+  for (auto& it = iter_[static_cast<std::size_t>(u)];
+       it < static_cast<std::int32_t>(head_[static_cast<std::size_t>(u)].size());
+       ++it) {
+    Arc& a = head_[static_cast<std::size_t>(u)][static_cast<std::size_t>(it)];
+    if (a.capacity <= 0 ||
+        level_[static_cast<std::size_t>(a.to)] !=
+            level_[static_cast<std::size_t>(u)] + 1) {
+      continue;
+    }
+    const std::int64_t pushed = push(a.to, sink, std::min(budget, a.capacity));
+    if (pushed > 0) {
+      a.capacity -= pushed;
+      head_[static_cast<std::size_t>(a.to)][static_cast<std::size_t>(a.rev)]
+          .capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+std::int64_t FlowNetwork::max_flow(std::int32_t source, std::int32_t sink,
+                                   std::int64_t limit) {
+  if (source < 0 || sink < 0 || source >= num_vertices() ||
+      sink >= num_vertices()) {
+    throw std::invalid_argument("max_flow: endpoint out of range");
+  }
+  if (source == sink) throw std::invalid_argument("max_flow: source == sink");
+  std::int64_t total = 0;
+  while (total < limit && build_levels(source, sink)) {
+    iter_.assign(head_.size(), 0);
+    while (total < limit) {
+      const std::int64_t pushed = push(source, sink, limit - total);
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::int64_t FlowNetwork::flow_on(std::int32_t arc_index) const {
+  if (arc_index < 0 ||
+      arc_index >= static_cast<std::int32_t>(arc_index_.size())) {
+    throw std::invalid_argument("flow_on: bad arc index");
+  }
+  const auto [u, slot] = arc_index_[static_cast<std::size_t>(arc_index)];
+  const Arc& a = head_[static_cast<std::size_t>(u)][static_cast<std::size_t>(slot)];
+  return a.original - a.capacity;
+}
+
+std::vector<bool> FlowNetwork::min_cut_source_side(std::int32_t source) const {
+  std::vector<bool> reachable(head_.size(), false);
+  std::vector<std::int32_t> stack{source};
+  reachable[static_cast<std::size_t>(source)] = true;
+  while (!stack.empty()) {
+    const std::int32_t u = stack.back();
+    stack.pop_back();
+    for (const Arc& a : head_[static_cast<std::size_t>(u)]) {
+      if (a.capacity > 0 && !reachable[static_cast<std::size_t>(a.to)]) {
+        reachable[static_cast<std::size_t>(a.to)] = true;
+        stack.push_back(a.to);
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace lhg::core

@@ -1,0 +1,33 @@
+// Random-graph baselines.
+//
+// The paper's family of deterministic topologies is evaluated against
+// the randomized alternatives from the related literature: uniform
+// G(n,m) graphs (gossip substrates) and random k-regular graphs (the
+// degree-matched strawman for E7's resilience comparison).  Both
+// generators are deterministic given the Rng seed.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.h"
+#include "core/rng.h"
+
+namespace lhg::core {
+
+/// Uniform simple graph with exactly `num_edges` distinct edges
+/// (Erdős–Rényi G(n, m)).  Throws if m exceeds n(n-1)/2.
+Graph random_gnm(NodeId num_nodes, std::int64_t num_edges, Rng& rng);
+
+/// Random k-regular simple graph via the configuration/pairing model
+/// with local repair: collisions (self-loops, duplicates) are resolved
+/// by edge swaps; if repair stalls the pairing is restarted.  Requires
+/// n > k and n*k even.
+Graph random_regular(NodeId num_nodes, std::int32_t k, Rng& rng);
+
+/// Connected random k-regular graph: retries random_regular until the
+/// sample is connected (a.a.s. 1..2 tries for k >= 3).
+Graph random_regular_connected(NodeId num_nodes, std::int32_t k, Rng& rng,
+                               std::int32_t max_tries = 64);
+
+}  // namespace lhg::core

@@ -1,0 +1,63 @@
+#include "core/rng.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lhg::core {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::next_below: bound == 0");
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::next_in: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range; just return a raw draw.
+  if (span == 0) return static_cast<std::int64_t>((*this)());
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+std::vector<std::int32_t> Rng::sample_without_replacement(
+    std::int32_t universe, std::int32_t count) {
+  if (count < 0 || universe < 0 || count > universe) {
+    throw std::invalid_argument("Rng::sample_without_replacement: bad args");
+  }
+  std::vector<std::int32_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  // Dense case: partial Fisher–Yates over the whole universe.
+  if (universe <= 4 * count || universe <= 1024) {
+    std::vector<std::int32_t> pool(static_cast<std::size_t>(universe));
+    for (std::int32_t i = 0; i < universe; ++i) pool[static_cast<std::size_t>(i)] = i;
+    for (std::int32_t i = 0; i < count; ++i) {
+      const auto j = static_cast<std::size_t>(
+          next_below(static_cast<std::uint64_t>(universe - i))) + static_cast<std::size_t>(i);
+      std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+      out.push_back(pool[static_cast<std::size_t>(i)]);
+    }
+    return out;
+  }
+  // Sparse case: rejection sampling into a hash set.
+  std::unordered_set<std::int32_t> seen;
+  seen.reserve(static_cast<std::size_t>(count) * 2);
+  while (static_cast<std::int32_t>(out.size()) < count) {
+    const auto v = static_cast<std::int32_t>(
+        next_below(static_cast<std::uint64_t>(universe)));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace lhg::core

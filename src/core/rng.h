@@ -1,0 +1,102 @@
+// Deterministic pseudo-random number generation for reproducible
+// simulations and benchmarks.
+//
+// Every stochastic component in this library (random-graph baselines,
+// failure injection, gossip peer selection) draws from an explicitly
+// seeded `Rng` so that a run is fully determined by its seed.  The
+// generator is xoshiro256** (Blackman & Vigna), seeded via SplitMix64 —
+// fast, high quality, and trivially portable, which matters because the
+// benchmark tables in EXPERIMENTS.md must be regenerable bit-for-bit.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace lhg::core {
+
+/// SplitMix64 step: expands a 64-bit seed into a stream of well-mixed
+/// 64-bit values.  Used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG.  Satisfies std::uniform_random_bit_generator, so it
+/// can also be handed to <random> distributions when convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  Uses Lemire's multiply-shift
+  /// rejection method; `bound` must be positive.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Fisher–Yates shuffle of `items`.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = next_below(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples `count` distinct values from [0, universe) without
+  /// replacement, in uniformly random order.  Requires count <= universe.
+  std::vector<std::int32_t> sample_without_replacement(std::int32_t universe,
+                                                       std::int32_t count);
+
+  /// Derives an independent child generator (for per-trial streams).
+  Rng split() { return Rng((*this)() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int s) {
+    return (x << s) | (x >> (64 - s));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace lhg::core

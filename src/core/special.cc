@@ -1,0 +1,83 @@
+#include "core/special.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/format.h"
+
+namespace lhg::core {
+
+Graph path_graph(NodeId n) {
+  GraphBuilder builder(n);
+  for (NodeId i = 0; i + 1 < n; ++i) builder.add_edge(i, i + 1);
+  return builder.build();
+}
+
+Graph cycle_graph(NodeId n) {
+  if (n < 3) throw std::invalid_argument(format("cycle needs n >= 3, got {}", n));
+  GraphBuilder builder(n);
+  for (NodeId i = 0; i < n; ++i) {
+    builder.add_edge(i, static_cast<NodeId>((i + 1) % n));
+  }
+  return builder.build();
+}
+
+Graph complete_graph(NodeId n) {
+  GraphBuilder builder(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) builder.add_edge(i, j);
+  }
+  return builder.build();
+}
+
+Graph complete_bipartite(NodeId a, NodeId b) {
+  if (a < 0 || b < 0) throw std::invalid_argument("negative partition size");
+  GraphBuilder builder(a + b);
+  for (NodeId i = 0; i < a; ++i) {
+    for (NodeId j = 0; j < b; ++j) {
+      builder.add_edge(i, static_cast<NodeId>(a + j));
+    }
+  }
+  return builder.build();
+}
+
+Graph star_graph(NodeId n) {
+  if (n < 1) throw std::invalid_argument("star needs n >= 1");
+  GraphBuilder builder(n);
+  for (NodeId i = 1; i < n; ++i) builder.add_edge(0, i);
+  return builder.build();
+}
+
+Graph hypercube(std::int32_t d) {
+  if (d < 0 || d > 20) {
+    throw std::invalid_argument(format("hypercube dimension {} out of range", d));
+  }
+  const auto n = static_cast<NodeId>(1) << d;
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::int32_t bit = 0; bit < d; ++bit) {
+      const NodeId v = u ^ (static_cast<NodeId>(1) << bit);
+      if (u < v) builder.add_edge(u, v);
+    }
+  }
+  return builder.build();
+}
+
+Graph petersen() {
+  GraphBuilder builder(10);
+  for (NodeId i = 0; i < 5; ++i) {
+    builder.add_edge(i, static_cast<NodeId>((i + 1) % 5));          // outer C5
+    builder.add_edge(static_cast<NodeId>(5 + i),
+                     static_cast<NodeId>(5 + (i + 2) % 5));         // pentagram
+    builder.add_edge(i, static_cast<NodeId>(i + 5));                // spokes
+  }
+  return builder.build();
+}
+
+Graph binary_tree(NodeId n) {
+  GraphBuilder builder(n);
+  for (NodeId i = 1; i < n; ++i) builder.add_edge(i, (i - 1) / 2);
+  return builder.build();
+}
+
+}  // namespace lhg::core

@@ -1,0 +1,42 @@
+// Canonical graph families.
+//
+// Fixtures for tests, baselines for experiments, and the "restricted
+// LHG instances" the related work cites: a d-dimensional hypercube is a
+// d-connected, link-minimal, log-diameter graph — i.e. an LHG that only
+// exists for n = 2^d — which is exactly why the general construction
+// matters.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.h"
+
+namespace lhg::core {
+
+/// Path P_n: 0-1-…-(n-1).  n >= 0.
+Graph path_graph(NodeId n);
+
+/// Cycle C_n.  Requires n >= 3.
+Graph cycle_graph(NodeId n);
+
+/// Complete graph K_n.  n >= 0.
+Graph complete_graph(NodeId n);
+
+/// Complete bipartite K_{a,b} (left ids [0,a), right ids [a,a+b)).
+Graph complete_bipartite(NodeId a, NodeId b);
+
+/// Star K_{1,n-1} with the hub at id 0.  Requires n >= 1.
+Graph star_graph(NodeId n);
+
+/// d-dimensional hypercube Q_d on 2^d nodes (ids = coordinate bitmasks).
+/// Requires 0 <= d <= 20.
+Graph hypercube(std::int32_t d);
+
+/// The Petersen graph (10 nodes, 3-regular, κ = λ = 3, girth 5).
+Graph petersen();
+
+/// Balanced binary tree on n nodes (heap indexing: parent(i) = (i-1)/2).
+Graph binary_tree(NodeId n);
+
+}  // namespace lhg::core

@@ -1,0 +1,146 @@
+#include "core/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/bfs.h"
+
+namespace lhg::core {
+
+namespace {
+
+struct PowerIteration {
+  SpectralEstimate estimate;
+  std::vector<double> vector;  // the (approximate) second eigenvector
+};
+
+void check_graph(const Graph& g) {
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("spectral: empty graph");
+  }
+  if (g.min_degree() < 1) {
+    throw std::invalid_argument("spectral: isolated vertex");
+  }
+}
+
+PowerIteration run_power_iteration(const Graph& g,
+                                   std::int32_t max_iterations,
+                                   double tolerance, std::uint64_t seed) {
+  check_graph(g);
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+
+  // Top eigenvector of the normalized adjacency: v1[i] ∝ sqrt(deg(i)).
+  std::vector<double> top(n);
+  double norm = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    top[i] = std::sqrt(static_cast<double>(g.degree(static_cast<NodeId>(i))));
+    norm += top[i] * top[i];
+  }
+  norm = std::sqrt(norm);
+  for (auto& x : top) x /= norm;
+
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& value : x) value = rng.next_double() - 0.5;
+
+  auto deflate_and_normalize = [&](std::vector<double>& v) {
+    double dot = 0;
+    for (std::size_t i = 0; i < n; ++i) dot += v[i] * top[i];
+    double len = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] -= dot * top[i];
+      len += v[i] * v[i];
+    }
+    len = std::sqrt(len);
+    if (len > 0) {
+      for (auto& value : v) value /= len;
+    }
+    return len;
+  };
+  deflate_and_normalize(x);
+
+  PowerIteration out;
+  std::vector<double> next(n);
+  double previous_eigenvalue = 2.0;
+  for (std::int32_t it = 0; it < max_iterations; ++it) {
+    // next = W x with W = (I + D^{-1/2} A D^{-1/2}) / 2.
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto u = static_cast<NodeId>(i);
+      double acc = 0;
+      const double du = std::sqrt(static_cast<double>(g.degree(u)));
+      for (NodeId v : g.neighbors(u)) {
+        acc += x[static_cast<std::size_t>(v)] /
+               std::sqrt(static_cast<double>(g.degree(v)));
+      }
+      next[i] = 0.5 * (x[i] + acc / du);
+    }
+    const double eigenvalue_estimate = deflate_and_normalize(next);
+    x.swap(next);
+    out.estimate.iterations = it + 1;
+    out.estimate.lambda2 = eigenvalue_estimate;
+    if (std::abs(eigenvalue_estimate - previous_eigenvalue) < tolerance) {
+      out.estimate.converged = true;
+      break;
+    }
+    previous_eigenvalue = eigenvalue_estimate;
+  }
+  if (!is_connected(g)) {
+    out.estimate.lambda2 = 1.0;  // exact: a second component contributes 1
+    out.estimate.converged = true;
+  }
+  out.estimate.gap = 1.0 - out.estimate.lambda2;
+  out.vector = std::move(x);
+  return out;
+}
+
+}  // namespace
+
+SpectralEstimate lazy_walk_lambda2(const Graph& g, std::int32_t max_iterations,
+                                   double tolerance, std::uint64_t seed) {
+  return run_power_iteration(g, max_iterations, tolerance, seed).estimate;
+}
+
+double sweep_conductance(const Graph& g, std::uint64_t seed) {
+  check_graph(g);
+  if (g.num_nodes() < 2) {
+    throw std::invalid_argument("sweep_conductance: need n >= 2");
+  }
+  const auto power = run_power_iteration(g, 5000, 1e-10, seed);
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+
+  // Fiedler ordering: sort by eigenvector entry scaled back by
+  // D^{-1/2} (the combinatorial embedding).
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const double xa = power.vector[static_cast<std::size_t>(a)] /
+                      std::sqrt(static_cast<double>(g.degree(a)));
+    const double xb = power.vector[static_cast<std::size_t>(b)] /
+                      std::sqrt(static_cast<double>(g.degree(b)));
+    return xa < xb;
+  });
+
+  const double total_volume = 2.0 * static_cast<double>(g.num_edges());
+  std::vector<bool> in_set(n, false);
+  double cut = 0;
+  double volume = 0;
+  double best = 1.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const NodeId u = order[i];
+    in_set[static_cast<std::size_t>(u)] = true;
+    volume += g.degree(u);
+    // Adding u converts its edges: inside edges leave the cut, outside
+    // edges join it.
+    for (NodeId v : g.neighbors(u)) {
+      cut += in_set[static_cast<std::size_t>(v)] ? -1.0 : 1.0;
+    }
+    const double denom = std::min(volume, total_volume - volume);
+    if (denom > 0) best = std::min(best, cut / denom);
+  }
+  return best;
+}
+
+}  // namespace lhg::core

@@ -1,0 +1,38 @@
+#include "flooding/event_sim.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lhg::flooding {
+
+void Simulator::schedule_at(double time, Callback cb) {
+  if (std::isnan(time) || time < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  if (!cb) throw std::invalid_argument("Simulator::schedule_at: empty callback");
+  queue_.push({time, next_seq_++, std::move(cb)});
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    // Move out of the const top; the heap is re-established by pop().
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.callback();
+  }
+}
+
+void Simulator::run_until(double deadline) {
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.callback();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace lhg::flooding

@@ -1,0 +1,94 @@
+#include "flooding/failure.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/connectivity.h"
+#include "core/format.h"
+
+namespace lhg::flooding {
+
+using core::NodeId;
+
+FailurePlan random_crashes(const core::Graph& g, std::int32_t count,
+                           NodeId protect, core::Rng& rng) {
+  if (count < 0 || count > g.num_nodes() - 1) {
+    throw std::invalid_argument(
+        core::format("random_crashes: count {} out of range", count));
+  }
+  FailurePlan plan;
+  // Sample from n-1 slots (all ids except `protect`), then shift.
+  const auto picks = rng.sample_without_replacement(g.num_nodes() - 1, count);
+  for (NodeId p : picks) {
+    plan.crashes.push_back({p >= protect ? p + 1 : p, 0.0});
+  }
+  return plan;
+}
+
+FailurePlan targeted_crashes(const core::Graph& g, std::int32_t count,
+                             NodeId protect) {
+  if (count < 0 || count > g.num_nodes() - 1) {
+    throw std::invalid_argument(
+        core::format("targeted_crashes: count {} out of range", count));
+  }
+  std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) order[static_cast<std::size_t>(u)] = u;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
+    return a < b;
+  });
+  FailurePlan plan;
+  for (NodeId u : order) {
+    if (static_cast<std::int32_t>(plan.crashes.size()) == count) break;
+    if (u != protect) plan.crashes.push_back({u, 0.0});
+  }
+  return plan;
+}
+
+FailurePlan cut_targeted_crashes(const core::Graph& g, std::int32_t count,
+                                 NodeId protect, core::Rng& rng) {
+  if (count < 0 || count > g.num_nodes() - 1) {
+    throw std::invalid_argument(
+        core::format("cut_targeted_crashes: count {} out of range", count));
+  }
+  FailurePlan plan;
+  std::vector<bool> chosen(static_cast<std::size_t>(g.num_nodes()), false);
+  chosen[static_cast<std::size_t>(protect)] = true;  // never crash source
+  const auto cut = core::minimum_vertex_cut(g);
+  if (cut.has_value()) {
+    for (NodeId u : *cut) {
+      if (static_cast<std::int32_t>(plan.crashes.size()) == count) break;
+      if (!chosen[static_cast<std::size_t>(u)]) {
+        chosen[static_cast<std::size_t>(u)] = true;
+        plan.crashes.push_back({u, 0.0});
+      }
+    }
+  }
+  while (static_cast<std::int32_t>(plan.crashes.size()) < count) {
+    const auto u = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(g.num_nodes())));
+    if (!chosen[static_cast<std::size_t>(u)]) {
+      chosen[static_cast<std::size_t>(u)] = true;
+      plan.crashes.push_back({u, 0.0});
+    }
+  }
+  return plan;
+}
+
+FailurePlan random_link_failures(const core::Graph& g, std::int32_t count,
+                                 core::Rng& rng) {
+  const auto edges = g.edges();
+  if (count < 0 || count > static_cast<std::int32_t>(edges.size())) {
+    throw std::invalid_argument(
+        core::format("random_link_failures: count {} out of range", count));
+  }
+  FailurePlan plan;
+  const auto picks = rng.sample_without_replacement(
+      static_cast<std::int32_t>(edges.size()), count);
+  for (auto idx : picks) {
+    plan.link_failures.push_back({edges[static_cast<std::size_t>(idx)], 0.0});
+  }
+  return plan;
+}
+
+}  // namespace lhg::flooding

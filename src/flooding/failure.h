@@ -1,0 +1,60 @@
+// Failure-plan generation for the fault-tolerance experiments.
+//
+// A FailurePlan is the adversary's move: which nodes crash and which
+// links fail, and when.  Generators cover the spectrum the evaluation
+// needs — uniformly random crashes (E5/E7), degree-targeted crashes,
+// minimum-cut-targeted crashes (the strongest adversary: it aims at an
+// actual minimum vertex cut of the topology), and random link cuts.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/rng.h"
+
+namespace lhg::flooding {
+
+struct NodeCrash {
+  core::NodeId node;
+  double time = 0.0;
+};
+
+struct LinkFailure {
+  core::Edge link;
+  double time = 0.0;
+};
+
+struct FailurePlan {
+  std::vector<NodeCrash> crashes;
+  std::vector<LinkFailure> link_failures;
+
+  std::size_t total_failures() const {
+    return crashes.size() + link_failures.size();
+  }
+};
+
+/// `count` distinct nodes crash at time 0, chosen uniformly at random,
+/// never including `protect` (the broadcast source).  Requires
+/// count <= n - 1.
+FailurePlan random_crashes(const core::Graph& g, std::int32_t count,
+                           core::NodeId protect, core::Rng& rng);
+
+/// The `count` highest-degree nodes crash at time 0 (ties by id),
+/// skipping `protect`.
+FailurePlan targeted_crashes(const core::Graph& g, std::int32_t count,
+                             core::NodeId protect);
+
+/// Crashes `count` nodes drawn from a minimum vertex cut of `g` (the
+/// strongest structural adversary).  If the cut is smaller than `count`,
+/// the remainder is filled with random nodes; `protect` is never chosen.
+FailurePlan cut_targeted_crashes(const core::Graph& g, std::int32_t count,
+                                 core::NodeId protect, core::Rng& rng);
+
+/// `count` distinct links fail at time 0, chosen uniformly at random.
+/// Requires count <= m.
+FailurePlan random_link_failures(const core::Graph& g, std::int32_t count,
+                                 core::Rng& rng);
+
+}  // namespace lhg::flooding

@@ -1,0 +1,120 @@
+#include "flooding/heartbeat.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/format.h"
+#include "core/rng.h"
+
+namespace lhg::flooding {
+
+using core::NodeId;
+
+namespace {
+
+constexpr std::uint64_t pair_key(NodeId observer, NodeId target) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(observer))
+          << 32) |
+         static_cast<std::uint32_t>(target);
+}
+
+}  // namespace
+
+HeartbeatResult run_heartbeat(const core::Graph& topology,
+                              const HeartbeatConfig& cfg,
+                              const FailurePlan& failures) {
+  if (cfg.interval <= 0 || cfg.timeout <= cfg.interval || cfg.horizon <= 0) {
+    throw std::invalid_argument(
+        "heartbeat: need 0 < interval < timeout and horizon > 0");
+  }
+
+  Simulator sim;
+  core::Rng rng(cfg.seed);
+  Network net(topology, sim, cfg.latency, rng, cfg.loss_probability);
+  std::unordered_map<NodeId, double> crash_time;
+  for (const NodeCrash& crash : failures.crashes) {
+    if (crash.time <= 0.0) {
+      net.crash_now(crash.node);
+    } else {
+      net.crash_at(crash.node, crash.time);
+      crash_time.emplace(crash.node, crash.time);
+    }
+  }
+  for (const LinkFailure& failure : failures.link_failures) {
+    if (failure.time <= 0.0) {
+      net.fail_link_now(failure.link.u, failure.link.v);
+    } else {
+      net.fail_link_at(failure.link.u, failure.link.v, failure.time);
+    }
+  }
+
+  HeartbeatResult result;
+  std::unordered_map<std::uint64_t, double> last_heard;
+  std::unordered_map<std::uint64_t, bool> suspected;
+  std::unordered_map<std::uint64_t, double> suspect_time;
+
+  // Suspicion check: fires `timeout` after the heartbeat that armed it;
+  // a newer heartbeat re-arms a later check, so only the newest matters.
+  auto schedule_check = [&](NodeId observer, NodeId target, double armed_at) {
+    sim.schedule_at(armed_at + cfg.timeout, [&, observer, target, armed_at] {
+      if (!net.is_alive(observer)) return;
+      // Beats stop at the horizon; silence past it is an artifact of
+      // the simulation ending, not a failure.
+      if (sim.now() > cfg.horizon) return;
+      const auto key = pair_key(observer, target);
+      if (last_heard[key] > armed_at) return;  // newer beat re-armed
+      if (suspected[key]) return;
+      suspected[key] = true;
+      suspect_time[key] = sim.now();
+      if (net.is_alive(target)) ++result.false_suspicions;
+    });
+  };
+
+  net.set_receive_handler([&](NodeId self, NodeId from, std::int64_t) {
+    const auto key = pair_key(self, from);
+    last_heard[key] = sim.now();
+    suspected[key] = false;  // rebut any standing suspicion
+    schedule_check(self, from, sim.now());
+  });
+
+  // Periodic beats from every node until it crashes or the horizon.
+  for (NodeId u = 0; u < topology.num_nodes(); ++u) {
+    for (double t = cfg.interval; t <= cfg.horizon; t += cfg.interval) {
+      sim.schedule_at(t, [&, u] {
+        for (NodeId v : topology.neighbors(u)) net.send(u, v, 0);
+      });
+    }
+    // Everyone starts "heard at 0".
+    for (NodeId v : topology.neighbors(u)) {
+      last_heard[pair_key(u, v)] = 0.0;
+      schedule_check(u, v, 0.0);
+    }
+  }
+  sim.run_until(cfg.horizon + cfg.timeout + 1.0);
+
+  result.heartbeats_sent = net.messages_sent();
+
+  // Post-process detections for crashes scheduled inside the horizon.
+  for (const auto& [node, at] : crash_time) {
+    if (at >= cfg.horizon) continue;
+    CrashDetection detection;
+    detection.node = node;
+    detection.crash_time = at;
+    double worst = 0;
+    bool complete = true;
+    for (NodeId w : topology.neighbors(node)) {
+      if (!net.is_alive(w)) continue;  // dead observers owe nothing
+      const auto key = pair_key(w, node);
+      if (!suspected[key]) {
+        complete = false;
+        break;
+      }
+      worst = std::max(worst, suspect_time[key] - at);
+    }
+    detection.detection_latency = complete ? worst : -1.0;
+    result.detections.push_back(detection);
+  }
+  return result;
+}
+
+}  // namespace lhg::flooding

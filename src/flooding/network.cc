@@ -1,0 +1,104 @@
+#include "flooding/network.h"
+
+#include <stdexcept>
+
+#include "core/format.h"
+
+namespace lhg::flooding {
+
+using core::NodeId;
+
+Network::Network(const core::Graph& topology, Simulator& sim,
+                 LatencySpec latency, core::Rng& rng, double loss_probability)
+    : topology_(&topology),
+      sim_(&sim),
+      latency_(latency),
+      rng_(&rng),
+      loss_probability_(loss_probability),
+      crashed_(static_cast<std::size_t>(topology.num_nodes()), false),
+      alive_count_(topology.num_nodes()) {
+  if (latency.base < 0 || latency.jitter < 0) {
+    throw std::invalid_argument("Network: negative latency");
+  }
+  if (loss_probability < 0.0 || loss_probability >= 1.0) {
+    throw std::invalid_argument("Network: loss probability must be in [0, 1)");
+  }
+}
+
+void Network::crash_now(NodeId node) {
+  if (node < 0 || node >= topology_->num_nodes()) {
+    throw std::invalid_argument(core::format("crash: bad node {}", node));
+  }
+  if (!crashed_[static_cast<std::size_t>(node)]) {
+    crashed_[static_cast<std::size_t>(node)] = true;
+    --alive_count_;
+  }
+}
+
+void Network::crash_at(NodeId node, double at) {
+  sim_->schedule_at(at, [this, node] { crash_now(node); });
+}
+
+void Network::fail_link_now(NodeId u, NodeId v) {
+  if (!topology_->has_edge(u, v)) {
+    throw std::invalid_argument(
+        core::format("fail_link: ({}, {}) not a link", u, v));
+  }
+  link_failed_at_.emplace(core::edge_key(u, v), sim_->now());
+}
+
+void Network::fail_link_at(NodeId u, NodeId v, double at) {
+  sim_->schedule_at(at, [this, u, v] { fail_link_now(u, v); });
+}
+
+bool Network::link_ok(NodeId u, NodeId v) const {
+  return !link_failed_at_.contains(core::edge_key(u, v));
+}
+
+double Network::sample_latency(NodeId u, NodeId v) {
+  switch (latency_.kind) {
+    case LatencySpec::Kind::kFixed:
+      return latency_.base;
+    case LatencySpec::Kind::kUniformPerLink: {
+      const auto key = core::edge_key(u, v);
+      auto it = link_latency_.find(key);
+      if (it == link_latency_.end()) {
+        it = link_latency_
+                 .emplace(key,
+                          latency_.base + latency_.jitter * rng_->next_double())
+                 .first;
+      }
+      return it->second;
+    }
+    case LatencySpec::Kind::kUniformPerSend:
+      return latency_.base + latency_.jitter * rng_->next_double();
+  }
+  throw std::logic_error("Network: unknown latency kind");
+}
+
+bool Network::send(NodeId from, NodeId to, std::int64_t message) {
+  if (!topology_->has_edge(from, to)) {
+    throw std::invalid_argument(
+        core::format("send: ({}, {}) is not a link of the overlay", from, to));
+  }
+  if (crashed_[static_cast<std::size_t>(from)] || !link_ok(from, to)) {
+    return false;
+  }
+  ++messages_sent_;
+  if (loss_probability_ > 0.0 && rng_->next_bool(loss_probability_)) {
+    ++messages_lost_;  // transmitted but dropped on the wire
+    return true;
+  }
+  const double latency = sample_latency(from, to);
+  sim_->schedule_in(latency, [this, from, to, message] {
+    // Delivery checks at arrival time: receiver must be alive and the
+    // link must still be up (a message in flight when its link fails is
+    // lost, modeling a cut trunk).
+    if (crashed_[static_cast<std::size_t>(to)]) return;
+    if (!link_ok(from, to)) return;
+    if (on_receive_) on_receive_(to, from, message);
+  });
+  return true;
+}
+
+}  // namespace lhg::flooding

@@ -1,0 +1,109 @@
+// Message-passing network over a fixed overlay topology.
+//
+// Nodes communicate only along the edges of a core::Graph; the Network
+// owns fail-stop crash state, link failures, per-link latencies and the
+// message counter.  A message sent at time t arrives at t + latency(link)
+// unless, at the *delivery* instant, the sender already crashed before t,
+// the receiver has crashed, or the link has failed — the standard
+// fail-stop model of the paper's flooding setting.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/rng.h"
+#include "flooding/event_sim.h"
+
+namespace lhg::flooding {
+
+/// How link latencies are produced.
+struct LatencySpec {
+  enum class Kind {
+    kFixed,           ///< every message takes `base`
+    kUniformPerLink,  ///< each link samples once in [base, base+jitter]
+    kUniformPerSend,  ///< each message samples in [base, base+jitter]
+  };
+  Kind kind = Kind::kFixed;
+  double base = 1.0;
+  double jitter = 0.0;
+
+  static LatencySpec fixed(double value) { return {Kind::kFixed, value, 0.0}; }
+  static LatencySpec per_link(double base, double jitter) {
+    return {Kind::kUniformPerLink, base, jitter};
+  }
+  static LatencySpec per_send(double base, double jitter) {
+    return {Kind::kUniformPerSend, base, jitter};
+  }
+};
+
+class Network {
+ public:
+  /// `topology` and `sim` must outlive the Network.  `rng` is consumed
+  /// for latency sampling and loss draws (may be shared with the
+  /// caller).  `loss_probability` drops each transmission independently
+  /// with that probability (the message is still counted as sent).
+  Network(const core::Graph& topology, Simulator& sim, LatencySpec latency,
+          core::Rng& rng, double loss_probability = 0.0);
+
+  const core::Graph& topology() const { return *topology_; }
+  Simulator& simulator() { return *sim_; }
+
+  /// Handler invoked on message delivery: (receiver, sender, message id).
+  using ReceiveHandler =
+      std::function<void(core::NodeId, core::NodeId, std::int64_t)>;
+  void set_receive_handler(ReceiveHandler handler) {
+    on_receive_ = std::move(handler);
+  }
+
+  /// Crashes `node` immediately (fail-stop; in-flight messages *from* it
+  /// sent before the crash still arrive, later sends are dropped).
+  void crash_now(core::NodeId node);
+
+  /// Schedules a crash at absolute virtual time `at`.
+  void crash_at(core::NodeId node, double at);
+
+  /// Fails the link {u, v} immediately / at time `at`.  Messages in
+  /// flight on the link at failure time are lost.
+  void fail_link_now(core::NodeId u, core::NodeId v);
+  void fail_link_at(core::NodeId u, core::NodeId v, double at);
+
+  bool is_alive(core::NodeId node) const {
+    return !crashed_[static_cast<std::size_t>(node)];
+  }
+  bool link_ok(core::NodeId u, core::NodeId v) const;
+  std::int32_t alive_count() const { return alive_count_; }
+
+  /// Sends `message` from `from` to its neighbor `to`.  Throws if the
+  /// nodes are not adjacent in the topology.  Returns false (and sends
+  /// nothing) if the sender is crashed or the link already failed.
+  /// Counts one message on every actual transmission attempt.
+  bool send(core::NodeId from, core::NodeId to, std::int64_t message);
+
+  std::int64_t messages_sent() const { return messages_sent_; }
+
+  /// Transmissions dropped by the lossy-link model so far.
+  std::int64_t messages_lost() const { return messages_lost_; }
+
+ private:
+  double sample_latency(core::NodeId u, core::NodeId v);
+
+  const core::Graph* topology_;
+  Simulator* sim_;
+  LatencySpec latency_;
+  core::Rng* rng_;
+  double loss_probability_ = 0.0;
+  std::int64_t messages_lost_ = 0;
+  ReceiveHandler on_receive_;
+  std::vector<bool> crashed_;
+  std::int32_t alive_count_ = 0;
+  std::unordered_map<std::uint64_t, double> link_latency_;  // per-link cache
+  std::unordered_map<std::uint64_t, double> link_failed_at_;
+  std::int64_t messages_sent_ = 0;
+};
+
+}  // namespace lhg::flooding

@@ -1,0 +1,308 @@
+#include "flooding/protocols.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/bfs.h"
+#include "core/format.h"
+
+namespace lhg::flooding {
+
+using core::NodeId;
+
+namespace {
+
+void check_source(const NodeId source, const NodeId n) {
+  if (source < 0 || source >= n) {
+    throw std::invalid_argument(
+        core::format("source {} out of range for n={}", source, n));
+  }
+}
+
+/// Applies a failure plan to a live network (time-0 failures fire
+/// before the first protocol event; later ones are scheduled).
+void apply_failures(Network& net, const FailurePlan& failures) {
+  for (const NodeCrash& crash : failures.crashes) {
+    if (crash.time <= 0.0) {
+      net.crash_now(crash.node);
+    } else {
+      net.crash_at(crash.node, crash.time);
+    }
+  }
+  for (const LinkFailure& failure : failures.link_failures) {
+    if (failure.time <= 0.0) {
+      net.fail_link_now(failure.link.u, failure.link.v);
+    } else {
+      net.fail_link_at(failure.link.u, failure.link.v, failure.time);
+    }
+  }
+}
+
+/// Fills the aggregate fields from per-node state.
+void finalize(DisseminationResult& result, const std::vector<bool>& alive) {
+  result.alive_nodes = 0;
+  result.delivered_alive = 0;
+  result.completion_time = 0.0;
+  result.completion_hops = 0;
+  for (std::size_t u = 0; u < alive.size(); ++u) {
+    if (!alive[u]) continue;
+    ++result.alive_nodes;
+    if (result.delivery_time[u] >= 0.0) {
+      ++result.delivered_alive;
+      result.completion_time =
+          std::max(result.completion_time, result.delivery_time[u]);
+      result.completion_hops =
+          std::max(result.completion_hops, result.delivery_hops[u]);
+    }
+  }
+}
+
+std::vector<bool> alive_mask(const Network& net) {
+  std::vector<bool> alive(
+      static_cast<std::size_t>(net.topology().num_nodes()));
+  for (NodeId u = 0; u < net.topology().num_nodes(); ++u) {
+    alive[static_cast<std::size_t>(u)] = net.is_alive(u);
+  }
+  return alive;
+}
+
+}  // namespace
+
+DisseminationResult flood(const core::Graph& topology, const FloodConfig& cfg,
+                          const FailurePlan& failures) {
+  check_source(cfg.source, topology.num_nodes());
+  Simulator sim;
+  core::Rng rng(cfg.seed);
+  Network net(topology, sim, cfg.latency, rng);
+  apply_failures(net, failures);
+
+  DisseminationResult result;
+  const auto n = static_cast<std::size_t>(topology.num_nodes());
+  result.delivery_time.assign(n, -1.0);
+  result.delivery_hops.assign(n, -1);
+
+  auto forward = [&](NodeId self, NodeId except, std::int32_t hops) {
+    for (NodeId v : topology.neighbors(self)) {
+      if (v != except) net.send(self, v, hops);
+    }
+  };
+  net.set_receive_handler([&](NodeId self, NodeId from, std::int64_t hops) {
+    auto& t = result.delivery_time[static_cast<std::size_t>(self)];
+    if (t >= 0.0) return;  // duplicate copy: absorb
+    t = sim.now();
+    result.delivery_hops[static_cast<std::size_t>(self)] =
+        static_cast<std::int32_t>(hops) + 1;
+    forward(self, from, static_cast<std::int32_t>(hops) + 1);
+  });
+
+  if (net.is_alive(cfg.source)) {
+    result.delivery_time[static_cast<std::size_t>(cfg.source)] = 0.0;
+    result.delivery_hops[static_cast<std::size_t>(cfg.source)] = 0;
+    sim.schedule_at(0.0, [&] { forward(cfg.source, -1, 0); });
+  }
+  sim.run();
+
+  result.messages_sent = net.messages_sent();
+  finalize(result, alive_mask(net));
+  return result;
+}
+
+DisseminationResult probabilistic_flood(const core::Graph& topology,
+                                        const ProbabilisticFloodConfig& cfg,
+                                        const FailurePlan& failures) {
+  check_source(cfg.source, topology.num_nodes());
+  if (cfg.forward_probability < 0.0 || cfg.forward_probability > 1.0) {
+    throw std::invalid_argument("probabilistic_flood: p out of range");
+  }
+  Simulator sim;
+  core::Rng rng(cfg.seed);
+  core::Rng coin = rng.split();
+  Network net(topology, sim, cfg.latency, rng);
+  apply_failures(net, failures);
+
+  DisseminationResult result;
+  const auto n = static_cast<std::size_t>(topology.num_nodes());
+  result.delivery_time.assign(n, -1.0);
+  result.delivery_hops.assign(n, -1);
+
+  auto forward = [&](NodeId self, NodeId except, std::int32_t hops,
+                     bool always) {
+    for (NodeId v : topology.neighbors(self)) {
+      if (v == except) continue;
+      if (always || coin.next_bool(cfg.forward_probability)) {
+        net.send(self, v, hops);
+      }
+    }
+  };
+  net.set_receive_handler([&](NodeId self, NodeId from, std::int64_t hops) {
+    auto& t = result.delivery_time[static_cast<std::size_t>(self)];
+    if (t >= 0.0) return;
+    t = sim.now();
+    result.delivery_hops[static_cast<std::size_t>(self)] =
+        static_cast<std::int32_t>(hops) + 1;
+    forward(self, from, static_cast<std::int32_t>(hops) + 1, /*always=*/false);
+  });
+
+  if (net.is_alive(cfg.source)) {
+    result.delivery_time[static_cast<std::size_t>(cfg.source)] = 0.0;
+    result.delivery_hops[static_cast<std::size_t>(cfg.source)] = 0;
+    sim.schedule_at(0.0, [&] { forward(cfg.source, -1, 0, /*always=*/true); });
+  }
+  sim.run();
+
+  result.messages_sent = net.messages_sent();
+  finalize(result, alive_mask(net));
+  return result;
+}
+
+DisseminationResult gossip(NodeId num_nodes, const GossipConfig& cfg,
+                           const FailurePlan& failures) {
+  check_source(cfg.source, num_nodes);
+  if (cfg.fanout < 1) throw std::invalid_argument("gossip: fanout < 1");
+  core::Rng rng(cfg.seed);
+
+  std::vector<bool> alive(static_cast<std::size_t>(num_nodes), true);
+  for (const NodeCrash& crash : failures.crashes) {
+    alive[static_cast<std::size_t>(crash.node)] = false;
+  }
+  std::int32_t alive_total = 0;
+  for (bool a : alive) alive_total += a ? 1 : 0;
+
+  DisseminationResult result;
+  result.delivery_time.assign(static_cast<std::size_t>(num_nodes), -1.0);
+  result.delivery_hops.assign(static_cast<std::size_t>(num_nodes), -1);
+
+  const std::int32_t rounds =
+      cfg.max_rounds > 0
+          ? cfg.max_rounds
+          : static_cast<std::int32_t>(
+                std::ceil(std::log2(std::max<NodeId>(2, num_nodes)))) +
+                cfg.extra_rounds;
+
+  std::vector<NodeId> infected;
+  std::int32_t delivered_alive = 0;
+  if (alive[static_cast<std::size_t>(cfg.source)]) {
+    infected.push_back(cfg.source);
+    result.delivery_time[static_cast<std::size_t>(cfg.source)] = 0.0;
+    result.delivery_hops[static_cast<std::size_t>(cfg.source)] = 0;
+    ++delivered_alive;
+  }
+  for (std::int32_t round = 1;
+       round <= rounds && delivered_alive < alive_total; ++round) {
+    std::vector<NodeId> fresh;
+    auto deliver = [&](NodeId peer) {
+      result.delivery_time[static_cast<std::size_t>(peer)] =
+          static_cast<double>(round);
+      result.delivery_hops[static_cast<std::size_t>(peer)] = round;
+      fresh.push_back(peer);
+      ++delivered_alive;
+    };
+    auto random_peer = [&](NodeId self) {
+      // Uniform peer != self (full membership view; the caller cannot
+      // know whether the peer is alive).
+      auto peer = static_cast<NodeId>(
+          rng.next_below(static_cast<std::uint64_t>(num_nodes - 1)));
+      if (peer >= self) ++peer;
+      return peer;
+    };
+    for (NodeId u : infected) {
+      if (!alive[static_cast<std::size_t>(u)]) continue;
+      for (std::int32_t f = 0; f < cfg.fanout; ++f) {
+        const NodeId peer = random_peer(u);
+        ++result.messages_sent;
+        if (!alive[static_cast<std::size_t>(peer)]) continue;
+        if (result.delivery_time[static_cast<std::size_t>(peer)] >= 0.0) continue;
+        deliver(peer);
+      }
+    }
+    if (cfg.mode == GossipMode::kPushPull) {
+      // Susceptible nodes poll random peers; a hit costs the response
+      // message too.  Nodes infected THIS round don't pull (their state
+      // updates at the round boundary).
+      for (NodeId u = 0; u < num_nodes; ++u) {
+        if (!alive[static_cast<std::size_t>(u)]) continue;
+        if (result.delivery_time[static_cast<std::size_t>(u)] >= 0.0) continue;
+        bool pulled = false;
+        for (std::int32_t f = 0; f < cfg.fanout && !pulled; ++f) {
+          const NodeId peer = random_peer(u);
+          ++result.messages_sent;  // the pull request
+          if (!alive[static_cast<std::size_t>(peer)]) continue;
+          const auto peer_time =
+              result.delivery_time[static_cast<std::size_t>(peer)];
+          // The peer answers with the rumor only if it was infected in
+          // an earlier round.
+          if (peer_time >= 0.0 && peer_time < static_cast<double>(round)) {
+            ++result.messages_sent;  // the response carrying the rumor
+            deliver(u);
+            pulled = true;
+          }
+        }
+      }
+    }
+    infected.insert(infected.end(), fresh.begin(), fresh.end());
+  }
+  finalize(result, alive);
+  return result;
+}
+
+DisseminationResult spanning_tree_multicast(const core::Graph& topology,
+                                            const TreeConfig& cfg,
+                                            const FailurePlan& failures) {
+  check_source(cfg.source, topology.num_nodes());
+  // BFS spanning tree rooted at the source, built on the healthy
+  // topology (the tree is a static overlay; failures strike afterwards).
+  const auto n = static_cast<std::size_t>(topology.num_nodes());
+  std::vector<std::vector<NodeId>> children(n);
+  {
+    std::vector<bool> seen(n, false);
+    std::vector<NodeId> queue{cfg.source};
+    seen[static_cast<std::size_t>(cfg.source)] = true;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      for (NodeId v : topology.neighbors(u)) {
+        if (!seen[static_cast<std::size_t>(v)]) {
+          seen[static_cast<std::size_t>(v)] = true;
+          children[static_cast<std::size_t>(u)].push_back(v);
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+
+  Simulator sim;
+  core::Rng rng(cfg.seed);
+  Network net(topology, sim, cfg.latency, rng);
+  apply_failures(net, failures);
+
+  DisseminationResult result;
+  result.delivery_time.assign(n, -1.0);
+  result.delivery_hops.assign(n, -1);
+
+  auto forward_to_children = [&](NodeId self, std::int32_t hops) {
+    for (NodeId child : children[static_cast<std::size_t>(self)]) {
+      net.send(self, child, hops);
+    }
+  };
+  net.set_receive_handler([&](NodeId self, NodeId /*from*/, std::int64_t hops) {
+    auto& t = result.delivery_time[static_cast<std::size_t>(self)];
+    if (t >= 0.0) return;
+    t = sim.now();
+    result.delivery_hops[static_cast<std::size_t>(self)] =
+        static_cast<std::int32_t>(hops) + 1;
+    forward_to_children(self, static_cast<std::int32_t>(hops) + 1);
+  });
+
+  if (net.is_alive(cfg.source)) {
+    result.delivery_time[static_cast<std::size_t>(cfg.source)] = 0.0;
+    result.delivery_hops[static_cast<std::size_t>(cfg.source)] = 0;
+    sim.schedule_at(0.0, [&] { forward_to_children(cfg.source, 0); });
+  }
+  sim.run();
+
+  result.messages_sent = net.messages_sent();
+  finalize(result, alive_mask(net));
+  return result;
+}
+
+}  // namespace lhg::flooding

@@ -1,0 +1,126 @@
+#include "flooding/reliable_broadcast.h"
+
+#include <functional>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/format.h"
+#include "core/rng.h"
+#include "flooding/network.h"
+
+namespace lhg::flooding {
+
+using core::NodeId;
+
+namespace {
+
+// Payload wire format: bit 0 = type (0 DATA, 1 ACK); DATA carries the
+// hop count in the remaining bits.
+constexpr std::int64_t kAck = 1;
+constexpr std::int64_t data_payload(std::int64_t hops) { return hops << 1; }
+constexpr bool is_ack(std::int64_t payload) { return (payload & 1) != 0; }
+constexpr std::int64_t hops_of(std::int64_t payload) { return payload >> 1; }
+
+constexpr std::uint64_t direction_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+         static_cast<std::uint32_t>(to);
+}
+
+}  // namespace
+
+ReliableBroadcastResult reliable_broadcast(const core::Graph& topology,
+                                           const ReliableBroadcastConfig& cfg,
+                                           const FailurePlan& failures) {
+  if (cfg.source < 0 || cfg.source >= topology.num_nodes()) {
+    throw std::invalid_argument("reliable_broadcast: bad source");
+  }
+  if (cfg.retransmit_interval <= 0 || cfg.max_retries < 0) {
+    throw std::invalid_argument("reliable_broadcast: bad retry settings");
+  }
+
+  Simulator sim;
+  core::Rng rng(cfg.seed);
+  Network net(topology, sim, cfg.latency, rng, cfg.loss_probability);
+  for (const NodeCrash& crash : failures.crashes) {
+    if (crash.time <= 0.0) {
+      net.crash_now(crash.node);
+    } else {
+      net.crash_at(crash.node, crash.time);
+    }
+  }
+  for (const LinkFailure& failure : failures.link_failures) {
+    if (failure.time <= 0.0) {
+      net.fail_link_now(failure.link.u, failure.link.v);
+    } else {
+      net.fail_link_at(failure.link.u, failure.link.v, failure.time);
+    }
+  }
+
+  ReliableBroadcastResult result;
+  const auto n = static_cast<std::size_t>(topology.num_nodes());
+  result.delivery_time.assign(n, -1.0);
+  result.delivery_hops.assign(n, -1);
+  std::unordered_set<std::uint64_t> acked;
+
+  // Reliable per-link transmission: send now, re-send every interval
+  // until the copy is acknowledged or retries run out.
+  std::function<void(NodeId, NodeId, std::int64_t, std::int32_t)> transmit =
+      [&](NodeId from, NodeId to, std::int64_t hops, std::int32_t attempt) {
+        if (acked.contains(direction_key(from, to))) return;
+        if (!net.send(from, to, data_payload(hops))) return;  // dead path
+        if (attempt > 0) ++result.retransmissions;
+        if (attempt >= cfg.max_retries) return;
+        sim.schedule_in(cfg.retransmit_interval, [&transmit, from, to, hops,
+                                                  attempt] {
+          transmit(from, to, hops, attempt + 1);
+        });
+      };
+
+  auto deliver_and_forward = [&](NodeId self, NodeId except,
+                                 std::int64_t hops) {
+    auto& t = result.delivery_time[static_cast<std::size_t>(self)];
+    if (t >= 0.0) return;
+    t = sim.now();
+    result.delivery_hops[static_cast<std::size_t>(self)] =
+        static_cast<std::int32_t>(hops);
+    for (NodeId v : topology.neighbors(self)) {
+      if (v != except) transmit(self, v, hops + 1, 0);
+    }
+  };
+
+  net.set_receive_handler([&](NodeId self, NodeId from, std::int64_t payload) {
+    if (is_ack(payload)) {
+      acked.insert(direction_key(self, from));
+      return;
+    }
+    // Always (re-)acknowledge DATA — the previous ACK may have dropped.
+    if (net.send(self, from, kAck)) ++result.acks_sent;
+    deliver_and_forward(self, from, hops_of(payload));
+  });
+
+  if (net.is_alive(cfg.source)) {
+    sim.schedule_at(0.0, [&] { deliver_and_forward(cfg.source, -1, 0); });
+  }
+  sim.run();
+
+  result.messages_sent = net.messages_sent();
+  result.messages_lost = net.messages_lost();
+  result.alive_nodes = 0;
+  result.delivered_alive = 0;
+  for (NodeId u = 0; u < topology.num_nodes(); ++u) {
+    if (!net.is_alive(u)) continue;
+    ++result.alive_nodes;
+    if (result.delivery_time[static_cast<std::size_t>(u)] >= 0.0) {
+      ++result.delivered_alive;
+      result.completion_time = std::max(
+          result.completion_time,
+          result.delivery_time[static_cast<std::size_t>(u)]);
+      result.completion_hops = std::max(
+          result.completion_hops,
+          result.delivery_hops[static_cast<std::size_t>(u)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace lhg::flooding

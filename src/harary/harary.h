@@ -1,0 +1,45 @@
+// Classic Harary graphs H(k, n) — the baseline the paper improves on.
+//
+// Harary (1962) constructs, for every n > k, a k-connected graph on n
+// nodes with the provably minimum number of edges, ⌈k·n/2⌉.  The
+// construction is circulant: place the n nodes on a circle and connect
+// each node to its ⌊k/2⌋ nearest neighbors on each side; for odd k add
+// diametric chords (with a one-vertex adjustment when n is odd).
+//
+// These graphs are the canonical flooding topology that tolerates k−1
+// failures at minimum link cost — but their diameter is Θ(n/k), which
+// is exactly the deficiency Logarithmic Harary Graphs remove.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.h"
+
+namespace lhg::harary {
+
+/// Builds the circulant Harary graph H(k, n).
+///
+/// Preconditions: 2 <= k < n.  Handles all three parity cases:
+///   * k = 2r:            node i ~ i±1, …, i±r (mod n)
+///   * k = 2r+1, n even:  H(2r, n) plus diameters i ~ i + n/2
+///   * k = 2r+1, n odd:   H(2r, n) plus i ~ i + (n+1)/2 for
+///                        0 <= i < (n-1)/2, and the edge {0, (n-1)/2};
+///                        node 0 ends with degree k+1, the rest k.
+///
+/// The result has exactly ⌈k·n/2⌉ edges and κ = λ = k.
+core::Graph circulant(core::NodeId n, std::int32_t k);
+
+/// Minimum possible edge count of any k-connected graph on n nodes,
+/// ⌈k·n/2⌉ (attained by circulant()).
+constexpr std::int64_t min_edges(std::int64_t n, std::int64_t k) {
+  return (k * n + 1) / 2;
+}
+
+/// Exact diameter of H(k, n) in the even-k case, ⌈(n/2)/⌊k/2⌋⌉-ish;
+/// provided as the analytic reference curve for experiment E1.  For odd
+/// k the diametric chords roughly halve it.  This is the *predicted*
+/// value; benches compare it against the measured one.
+std::int32_t predicted_diameter(core::NodeId n, std::int32_t k);
+
+}  // namespace lhg::harary

@@ -1,0 +1,60 @@
+#include "lhg/assemble.h"
+
+#include <stdexcept>
+
+namespace lhg {
+
+core::Graph assemble(const TreePlan& plan, Layout* layout_out) {
+  if (plan.k < 2) throw std::invalid_argument("assemble: k must be >= 2");
+
+  Layout layout;
+  layout.k = plan.k;
+  layout.num_interiors = plan.num_interiors();
+  layout.leaf_kind = plan.leaf_kind;
+  layout.leaf_slot.resize(plan.leaf_kind.size());
+  for (std::size_t l = 0; l < plan.leaf_kind.size(); ++l) {
+    if (plan.leaf_kind[l] == LeafKind::kShared) {
+      layout.leaf_slot[l] = layout.num_shared_leaves++;
+    } else {
+      layout.leaf_slot[l] = layout.num_unshared_groups++;
+    }
+  }
+
+  const auto n = layout.total_nodes();
+  if (n > INT32_MAX) throw std::invalid_argument("assemble: graph too large");
+  core::GraphBuilder builder(static_cast<core::NodeId>(n));
+
+  // Tree edges, once per copy.
+  for (std::int32_t c = 0; c < plan.k; ++c) {
+    for (std::int32_t i = 1; i < plan.num_interiors(); ++i) {
+      builder.add_edge(
+          layout.interior(c, plan.interior_parent[static_cast<std::size_t>(i)]),
+          layout.interior(c, i));
+    }
+  }
+
+  // Leaf attachments.
+  for (std::int32_t l = 0; l < plan.num_leaves(); ++l) {
+    const auto parent = plan.leaf_parent[static_cast<std::size_t>(l)];
+    const auto slot = layout.leaf_slot[static_cast<std::size_t>(l)];
+    if (plan.leaf_kind[static_cast<std::size_t>(l)] == LeafKind::kShared) {
+      for (std::int32_t c = 0; c < plan.k; ++c) {
+        builder.add_edge(layout.interior(c, parent), layout.shared_leaf(slot));
+      }
+    } else {
+      for (std::int32_t c = 0; c < plan.k; ++c) {
+        builder.add_edge(layout.interior(c, parent),
+                         layout.group_member(slot, c));
+        for (std::int32_t c2 = c + 1; c2 < plan.k; ++c2) {
+          builder.add_edge(layout.group_member(slot, c),
+                           layout.group_member(slot, c2));
+        }
+      }
+    }
+  }
+
+  if (layout_out != nullptr) *layout_out = std::move(layout);
+  return builder.build();
+}
+
+}  // namespace lhg

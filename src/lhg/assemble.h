@@ -1,0 +1,22 @@
+// Realizes an abstract TreePlan as a concrete pasted graph.
+
+#pragma once
+
+#include "core/graph.h"
+#include "lhg/layout.h"
+#include "lhg/tree_plan.h"
+
+namespace lhg {
+
+/// Pastes k copies of the plan's tree together at the leaves:
+///   * every interior is replicated once per copy, with the tree edges
+///     of its copy;
+///   * every shared leaf becomes a single node adjacent to its parent's
+///     instance in every copy (degree k);
+///   * every unshared leaf becomes a k-clique whose member c is adjacent
+///     to its parent's instance in copy c (degree k).
+///
+/// If `layout` is non-null it receives the id map of the result.
+core::Graph assemble(const TreePlan& plan, Layout* layout = nullptr);
+
+}  // namespace lhg

@@ -1,0 +1,62 @@
+#include "lhg/lhg.h"
+
+#include <stdexcept>
+
+#include "core/format.h"
+#include "lhg/assemble.h"
+
+namespace lhg {
+
+std::string to_string(Constraint c) {
+  switch (c) {
+    case Constraint::kStrictJD: return "strict-jd";
+    case Constraint::kKTree: return "k-tree";
+    case Constraint::kKDiamond: return "k-diamond";
+  }
+  throw std::invalid_argument("to_string: unknown constraint");
+}
+
+TreePlan plan(std::int64_t n, std::int32_t k, Constraint c) {
+  switch (c) {
+    case Constraint::kStrictJD: {
+      auto p = jd::plan(n, k);
+      if (!p.has_value()) {
+        throw std::invalid_argument(core::format(
+            "no strict Jenkins-Demers LHG exists for (n={}, k={})", n, k));
+      }
+      return *std::move(p);
+    }
+    case Constraint::kKTree: return ktree::plan(n, k);
+    case Constraint::kKDiamond: return kdiamond::plan(n, k);
+  }
+  throw std::invalid_argument("plan: unknown constraint");
+}
+
+core::Graph build_with_layout(core::NodeId n, std::int32_t k, Constraint c,
+                              Layout* layout) {
+  return assemble(plan(n, k, c), layout);
+}
+
+core::Graph build(core::NodeId n, std::int32_t k, Constraint c) {
+  return build_with_layout(n, k, c, nullptr);
+}
+
+bool exists(std::int64_t n, std::int32_t k, Constraint c) {
+  switch (c) {
+    case Constraint::kStrictJD: return jd::exists(n, k);
+    case Constraint::kKTree: return ktree::exists(n, k);
+    case Constraint::kKDiamond: return kdiamond::exists(n, k);
+  }
+  throw std::invalid_argument("exists: unknown constraint");
+}
+
+bool regular_exists(std::int64_t n, std::int32_t k, Constraint c) {
+  switch (c) {
+    case Constraint::kStrictJD: return jd::regular_exists(n, k);
+    case Constraint::kKTree: return ktree::regular_exists(n, k);
+    case Constraint::kKDiamond: return kdiamond::regular_exists(n, k);
+  }
+  throw std::invalid_argument("regular_exists: unknown constraint");
+}
+
+}  // namespace lhg

@@ -1,0 +1,133 @@
+#include "lhg/plan_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/format.h"
+
+namespace lhg {
+
+using core::format;
+
+void write_plan(const TreePlan& plan, std::ostream& out) {
+  out << "lhg-plan 1\n";
+  out << "k " << plan.k << '\n';
+  out << "interiors " << plan.num_interiors() << '\n';
+  if (plan.num_interiors() > 1) {
+    out << "parents";
+    for (std::int32_t i = 1; i < plan.num_interiors(); ++i) {
+      out << ' ' << plan.interior_parent[static_cast<std::size_t>(i)];
+    }
+    out << '\n';
+  }
+  out << "leaves " << plan.num_leaves() << '\n';
+  for (std::int32_t l = 0; l < plan.num_leaves(); ++l) {
+    out << "leaf " << plan.leaf_parent[static_cast<std::size_t>(l)] << ' '
+        << (plan.leaf_kind[static_cast<std::size_t>(l)] == LeafKind::kShared
+                ? "shared"
+                : "unshared")
+        << '\n';
+  }
+}
+
+namespace {
+
+std::string next_data_line(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') return line;
+  }
+  throw std::invalid_argument("lhg-plan: unexpected end of input");
+}
+
+void expect_keyword(std::istringstream& row, const std::string& keyword) {
+  std::string word;
+  if (!(row >> word) || word != keyword) {
+    throw std::invalid_argument(
+        format("lhg-plan: expected '{}', got '{}'", keyword, word));
+  }
+}
+
+}  // namespace
+
+TreePlan read_plan(std::istream& in) {
+  {
+    std::istringstream header(next_data_line(in));
+    expect_keyword(header, "lhg-plan");
+    int version = 0;
+    if (!(header >> version) || version != 1) {
+      throw std::invalid_argument("lhg-plan: unsupported version");
+    }
+  }
+  TreePlan plan;
+  {
+    std::istringstream row(next_data_line(in));
+    expect_keyword(row, "k");
+    if (!(row >> plan.k) || plan.k < 2) {
+      throw std::invalid_argument("lhg-plan: bad k");
+    }
+  }
+  std::int32_t num_interiors = 0;
+  {
+    std::istringstream row(next_data_line(in));
+    expect_keyword(row, "interiors");
+    if (!(row >> num_interiors) || num_interiors < 1) {
+      throw std::invalid_argument("lhg-plan: bad interior count");
+    }
+  }
+  plan.interior_parent.assign(static_cast<std::size_t>(num_interiors), -1);
+  if (num_interiors > 1) {
+    std::istringstream row(next_data_line(in));
+    expect_keyword(row, "parents");
+    for (std::int32_t i = 1; i < num_interiors; ++i) {
+      std::int32_t parent = -1;
+      if (!(row >> parent) || parent < 0 || parent >= i) {
+        throw std::invalid_argument(
+            format("lhg-plan: bad parent for interior {}", i));
+      }
+      plan.interior_parent[static_cast<std::size_t>(i)] = parent;
+    }
+  }
+  std::int32_t num_leaves = 0;
+  {
+    std::istringstream row(next_data_line(in));
+    expect_keyword(row, "leaves");
+    if (!(row >> num_leaves) || num_leaves < 0) {
+      throw std::invalid_argument("lhg-plan: bad leaf count");
+    }
+  }
+  for (std::int32_t l = 0; l < num_leaves; ++l) {
+    std::istringstream row(next_data_line(in));
+    expect_keyword(row, "leaf");
+    std::int32_t parent = -1;
+    std::string kind;
+    if (!(row >> parent >> kind) || parent < 0 || parent >= num_interiors) {
+      throw std::invalid_argument(format("lhg-plan: bad leaf {}", l));
+    }
+    plan.leaf_parent.push_back(parent);
+    if (kind == "shared") {
+      plan.leaf_kind.push_back(LeafKind::kShared);
+    } else if (kind == "unshared") {
+      plan.leaf_kind.push_back(LeafKind::kUnshared);
+    } else {
+      throw std::invalid_argument(
+          format("lhg-plan: unknown leaf kind '{}'", kind));
+    }
+  }
+  return plan;
+}
+
+std::string to_plan_string(const TreePlan& plan) {
+  std::ostringstream out;
+  write_plan(plan, out);
+  return out.str();
+}
+
+TreePlan from_plan_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_plan(in);
+}
+
+}  // namespace lhg

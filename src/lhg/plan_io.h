@@ -1,0 +1,38 @@
+// TreePlan serialization.
+//
+// A deployment distributes the overlay as *coordinates*, not edge
+// lists: each node needs its copy index and tree position (plus the
+// plan) to know its neighbors and to run the structured router.  This
+// module round-trips a TreePlan through a small line-oriented text
+// format so planners and runtime nodes can live in different processes.
+//
+// Format (text, '#' comments allowed):
+//   lhg-plan 1          — magic + version
+//   k <k>
+//   interiors <I>
+//   parents <p1> ... <p_{I-1}>      (root's -1 omitted; absent when I = 1)
+//   leaves <L>
+//   leaf <parent> <shared|unshared>    (L lines)
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lhg/tree_plan.h"
+
+namespace lhg {
+
+/// Writes `plan` in the lhg-plan format.
+void write_plan(const TreePlan& plan, std::ostream& out);
+
+/// Parses the lhg-plan format.  Validates structural invariants of the
+/// result (BFS parent order, leaf parents in range) and throws
+/// std::invalid_argument on malformed input.
+TreePlan read_plan(std::istream& in);
+
+/// String conveniences.
+std::string to_plan_string(const TreePlan& plan);
+TreePlan from_plan_string(const std::string& text);
+
+}  // namespace lhg

@@ -1,0 +1,91 @@
+// Structured point-to-point routing over a pasted LHG.
+//
+// Flooding needs no routing state, but an overlay this structured also
+// supports *local* routing: a node can forward a unicast message using
+// only its own coordinates (copy, tree position) and its neighbors',
+// with no global tables — the LHG analogue of DHT-style greedy routing.
+//
+// Scheme (all steps follow real overlay edges):
+//   * same tree copy:   climb to the lowest common ancestor, descend;
+//   * different copies: descend to any leaf (every leaf is a bridge:
+//     shared leaves touch every copy, unshared cliques connect them),
+//     cross, then climb/descend inside the destination copy;
+//   * leaf endpoints enter/exit through a tree parent; clique members
+//     jump copies through their clique edge first.
+//
+// The resulting path length is at most ~4·height(T) + 4 = O(log n); the
+// `Router` never runs BFS and keeps O(I) precomputed state.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.h"
+#include "lhg/layout.h"
+#include "lhg/lhg.h"
+#include "lhg/tree_plan.h"
+
+namespace lhg {
+
+class Router {
+ public:
+  /// Builds routing state from a plan and its realized layout (both as
+  /// produced by lhg::plan / lhg::build_with_layout).
+  Router(TreePlan plan, Layout layout);
+
+  /// A node sequence from `from` to `to` along overlay edges (inclusive
+  /// of both endpoints; {from} when from == to).  Throws on bad ids.
+  std::vector<core::NodeId> route(core::NodeId from, core::NodeId to) const;
+
+  /// Upper bound on any route's hop count: 4·height + 4.
+  std::int32_t max_route_hops() const { return 4 * plan_.height() + 4; }
+
+  const TreePlan& plan() const { return plan_; }
+  const Layout& layout() const { return layout_; }
+
+ private:
+  enum class Kind { kInterior, kSharedLeaf, kGroupMember };
+  struct Position {
+    Kind kind;
+    std::int32_t copy = -1;      // interiors and group members
+    std::int32_t interior = -1;  // abstract interior (interiors only)
+    std::int32_t leaf = -1;      // abstract leaf index (leaves/groups)
+  };
+  struct Anchor {
+    std::int32_t copy;
+    std::int32_t interior;                  // abstract
+    std::vector<core::NodeId> prefix;       // from the endpoint to the anchor
+  };
+
+  Position classify(core::NodeId node) const;
+  Anchor anchor(const Position& pos, core::NodeId node,
+                std::int32_t preferred_copy) const;
+  /// Interior-to-interior path inside one copy via the LCA.
+  std::vector<core::NodeId> tree_route(std::int32_t copy, std::int32_t a,
+                                       std::int32_t b) const;
+  /// Descends from `interior` (exclusive) in `copy` to a bridge leaf and
+  /// crosses into `target_copy`; returns the node sequence and the
+  /// abstract interior where it re-enters the target copy.
+  std::vector<core::NodeId> cross_copies(std::int32_t copy,
+                                         std::int32_t interior,
+                                         std::int32_t target_copy,
+                                         std::int32_t* entry_interior) const;
+
+  TreePlan plan_;
+  Layout layout_;
+  std::vector<std::int32_t> depth_;                 // per abstract interior
+  std::vector<std::int32_t> first_leaf_of_;         // -1 if none
+  std::vector<std::int32_t> first_interior_child_;  // -1 if none
+  std::vector<std::int32_t> abstract_leaf_of_slot_[2];  // by kind: slot->leaf
+};
+
+/// Convenience: builds graph + router together for a pair (n, k).
+struct RoutedOverlay {
+  core::Graph graph;
+  Router router;
+};
+RoutedOverlay make_routed_overlay(core::NodeId n, std::int32_t k,
+                                  Constraint constraint = Constraint::kKTree);
+
+}  // namespace lhg

@@ -1,0 +1,212 @@
+#include "lhg/tree_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/format.h"
+
+namespace lhg {
+
+using core::format;
+
+namespace {
+
+/// Child-slot capacity of interior `i` before added leaves.
+std::int32_t base_capacity(std::int32_t k, std::int32_t i) {
+  return i == 0 ? k : k - 1;
+}
+
+}  // namespace
+
+std::int32_t TreePlan::num_shared_leaves() const {
+  return static_cast<std::int32_t>(
+      std::count(leaf_kind.begin(), leaf_kind.end(), LeafKind::kShared));
+}
+
+std::int32_t TreePlan::num_unshared_groups() const {
+  return static_cast<std::int32_t>(
+      std::count(leaf_kind.begin(), leaf_kind.end(), LeafKind::kUnshared));
+}
+
+std::int64_t TreePlan::realized_nodes() const {
+  return static_cast<std::int64_t>(k) * num_interiors() + num_shared_leaves() +
+         static_cast<std::int64_t>(k) * num_unshared_groups();
+}
+
+std::vector<std::int32_t> TreePlan::interior_depths() const {
+  std::vector<std::int32_t> depth(interior_parent.size(), 0);
+  for (std::size_t i = 1; i < interior_parent.size(); ++i) {
+    depth[i] = depth[static_cast<std::size_t>(interior_parent[i])] + 1;
+  }
+  return depth;
+}
+
+std::int32_t TreePlan::height() const {
+  const auto depth = interior_depths();
+  std::int32_t h = 0;
+  for (std::int32_t p : leaf_parent) {
+    h = std::max(h, depth[static_cast<std::size_t>(p)] + 1);
+  }
+  return h;
+}
+
+void TreePlan::check_invariants(std::int32_t max_added_per_bottom) const {
+  if (k < 2) throw std::logic_error("TreePlan: k < 2");
+  if (num_interiors() < 1) throw std::logic_error("TreePlan: no root");
+  if (interior_parent[0] != -1) throw std::logic_error("TreePlan: bad root");
+  for (std::int32_t i = 1; i < num_interiors(); ++i) {
+    const auto p = interior_parent[static_cast<std::size_t>(i)];
+    if (p < 0 || p >= i) {
+      throw std::logic_error(
+          format("TreePlan: interior {} has non-BFS parent {}", i, p));
+    }
+  }
+  if (leaf_kind.size() != leaf_parent.size()) {
+    throw std::logic_error("TreePlan: leaf_kind / leaf_parent size mismatch");
+  }
+
+  std::vector<std::int32_t> interior_children(
+      static_cast<std::size_t>(num_interiors()), 0);
+  std::vector<std::int32_t> leaf_children(
+      static_cast<std::size_t>(num_interiors()), 0);
+  for (std::int32_t i = 1; i < num_interiors(); ++i) {
+    ++interior_children[static_cast<std::size_t>(
+        interior_parent[static_cast<std::size_t>(i)])];
+  }
+  for (std::int32_t p : leaf_parent) {
+    if (p < 0 || p >= num_interiors()) {
+      throw std::logic_error(format("TreePlan: leaf parent {} out of range", p));
+    }
+    ++leaf_children[static_cast<std::size_t>(p)];
+  }
+
+  for (std::int32_t i = 0; i < num_interiors(); ++i) {
+    const auto cap = base_capacity(k, i);
+    const auto total = interior_children[static_cast<std::size_t>(i)] +
+                       leaf_children[static_cast<std::size_t>(i)];
+    if (total < cap) {
+      throw std::logic_error(
+          format("TreePlan: interior {} has {} children, needs >= {}", i,
+                 total, cap));
+    }
+    if (total > cap) {
+      if (leaf_children[static_cast<std::size_t>(i)] == 0) {
+        throw std::logic_error(format(
+            "TreePlan: interior {} has extra children but no leaf child", i));
+      }
+      if (total - cap > max_added_per_bottom) {
+        throw std::logic_error(
+            format("TreePlan: interior {} has {} added leaves (max {})", i,
+                   total - cap, max_added_per_bottom));
+      }
+    }
+  }
+
+  // Height balance: leaf depths must span at most two consecutive values.
+  const auto depth = interior_depths();
+  std::int32_t lo = INT32_MAX;
+  std::int32_t hi = 0;
+  for (std::int32_t p : leaf_parent) {
+    const auto d = depth[static_cast<std::size_t>(p)] + 1;
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  if (!leaf_parent.empty() && hi - lo > 1) {
+    throw std::logic_error(
+        format("TreePlan: unbalanced leaf depths {}..{}", lo, hi));
+  }
+}
+
+TreePlan base_plan(std::int32_t k, std::int32_t num_interiors) {
+  if (k < 2) throw std::invalid_argument("base_plan: k must be >= 2");
+  if (num_interiors < 1) {
+    throw std::invalid_argument("base_plan: need at least the root interior");
+  }
+  TreePlan plan;
+  plan.k = k;
+  plan.interior_parent.assign(static_cast<std::size_t>(num_interiors), -1);
+
+  // BFS slot filling: interior i+1 consumes the earliest open slot.
+  std::vector<std::int32_t> used(static_cast<std::size_t>(num_interiors), 0);
+  std::int32_t frontier = 0;  // earliest interior with an open slot
+  for (std::int32_t i = 1; i < num_interiors; ++i) {
+    while (used[static_cast<std::size_t>(frontier)] ==
+           base_capacity(k, frontier)) {
+      ++frontier;
+      if (frontier >= i) {
+        throw std::logic_error("base_plan: ran out of open slots");
+      }
+    }
+    plan.interior_parent[static_cast<std::size_t>(i)] = frontier;
+    ++used[static_cast<std::size_t>(frontier)];
+  }
+
+  // Remaining slots become shared leaves.
+  for (std::int32_t i = 0; i < num_interiors; ++i) {
+    for (std::int32_t s = used[static_cast<std::size_t>(i)];
+         s < base_capacity(k, i); ++s) {
+      plan.leaf_parent.push_back(i);
+      plan.leaf_kind.push_back(LeafKind::kShared);
+    }
+  }
+  return plan;
+}
+
+std::vector<std::int32_t> bottom_interiors(const TreePlan& plan) {
+  std::vector<bool> has_leaf(static_cast<std::size_t>(plan.num_interiors()),
+                             false);
+  for (std::int32_t p : plan.leaf_parent) {
+    has_leaf[static_cast<std::size_t>(p)] = true;
+  }
+  std::vector<std::int32_t> out;
+  for (std::int32_t i = 0; i < plan.num_interiors(); ++i) {
+    if (has_leaf[static_cast<std::size_t>(i)]) out.push_back(i);
+  }
+  return out;
+}
+
+void add_extra_leaf(TreePlan& plan, std::int32_t host) {
+  if (host < 0 || host >= plan.num_interiors()) {
+    throw std::invalid_argument(format("add_extra_leaf: bad host {}", host));
+  }
+  const bool hosts_leaves =
+      std::find(plan.leaf_parent.begin(), plan.leaf_parent.end(), host) !=
+      plan.leaf_parent.end();
+  if (!hosts_leaves) {
+    throw std::invalid_argument(
+        format("add_extra_leaf: interior {} is not just above the leaves",
+               host));
+  }
+  plan.leaf_parent.push_back(host);
+  plan.leaf_kind.push_back(LeafKind::kShared);
+}
+
+void make_leaf_unshared(TreePlan& plan, std::int32_t leaf) {
+  if (leaf < 0 || leaf >= plan.num_leaves()) {
+    throw std::invalid_argument(format("make_leaf_unshared: bad leaf {}", leaf));
+  }
+  if (plan.leaf_kind[static_cast<std::size_t>(leaf)] == LeafKind::kUnshared) {
+    throw std::invalid_argument(
+        format("make_leaf_unshared: leaf {} already unshared", leaf));
+  }
+  plan.leaf_kind[static_cast<std::size_t>(leaf)] = LeafKind::kUnshared;
+}
+
+std::int32_t count_bottom_interiors(std::int32_t k, std::int32_t num_interiors) {
+  if (k < 2 || num_interiors < 1) {
+    throw std::invalid_argument("count_bottom_interiors: bad arguments");
+  }
+  // Interior i owns the global slot range [start_i, start_i + cap_i);
+  // the first num_interiors-1 slots are consumed by interiors, so i is a
+  // bottom interior iff its range extends past that prefix.
+  std::int32_t count = 0;
+  std::int64_t start = 0;
+  for (std::int32_t i = 0; i < num_interiors; ++i) {
+    const auto cap = base_capacity(k, i);
+    if (start + cap > num_interiors - 1) ++count;
+    start += cap;
+  }
+  return count;
+}
+
+}  // namespace lhg

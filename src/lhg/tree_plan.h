@@ -1,0 +1,98 @@
+// Abstract tree shapes for the paste-k-trees LHG constructions.
+//
+// Every construction in this library (strict Jenkins–Demers, K-TREE,
+// K-DIAMOND) is "k isomorphic copies of a tree T glued at the leaves".
+// What distinguishes them is which tree shapes T they allow.  This
+// module separates that concern: a `TreePlan` is a fully-resolved
+// abstract tree (interiors + leaf attachment points + leaf kinds), and
+// per-constraint planners elsewhere decide how to spend the node budget.
+//
+// Shape invariants maintained here:
+//   * interior 0 is the root and has `k` child slots; every other
+//     interior has `k−1` child slots (before any *added* leaves);
+//   * interiors fill slots in BFS order, so the interior skeleton is a
+//     complete, height-balanced tree and leaf depths differ by <= 1;
+//   * "bottom interiors" (those with at least one leaf child) may carry
+//     extra leaves beyond their slot count — the per-constraint planner
+//     bounds how many and on how many nodes.
+//
+// Realized graph size: n = k·I + L_shared + k·G  where I = #interiors,
+// L_shared = #shared leaves, G = #unshared leaf groups (K-DIAMOND only;
+// each group is a k-clique).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.h"
+
+namespace lhg {
+
+/// How an abstract leaf of T is realized in the pasted graph.
+enum class LeafKind : std::uint8_t {
+  kShared,    ///< one node, adjacent to its parent in every copy (degree k)
+  kUnshared,  ///< a k-clique; member c attaches to copy c's parent (degree k)
+};
+
+/// A fully-resolved abstract tree T to be replicated k times.
+struct TreePlan {
+  std::int32_t k = 0;
+
+  /// interior_parent[i] is the parent interior of interior i (-1 for
+  /// the root, i = 0).  Parents always precede children (BFS order).
+  std::vector<std::int32_t> interior_parent;
+
+  /// leaf_parent[l] is the interior that leaf l hangs from.
+  std::vector<std::int32_t> leaf_parent;
+
+  /// leaf_kind[l] parallels leaf_parent.
+  std::vector<LeafKind> leaf_kind;
+
+  std::int32_t num_interiors() const {
+    return static_cast<std::int32_t>(interior_parent.size());
+  }
+  std::int32_t num_leaves() const {
+    return static_cast<std::int32_t>(leaf_parent.size());
+  }
+  std::int32_t num_shared_leaves() const;
+  std::int32_t num_unshared_groups() const;
+
+  /// Total node count of the realized graph: k·I + L_shared + k·G.
+  std::int64_t realized_nodes() const;
+
+  /// Depth of each interior (root = 0).
+  std::vector<std::int32_t> interior_depths() const;
+
+  /// Height of T = 1 + max leaf depth = 1 + max parent depth.
+  std::int32_t height() const;
+
+  /// Validates all structural invariants (parent ordering, slot counts,
+  /// balance, extras only on bottom interiors).  Throws std::logic_error
+  /// with a description on violation.  Used by tests and by builders as
+  /// a defense-in-depth check.
+  void check_invariants(std::int32_t max_added_per_bottom) const;
+};
+
+/// The rigid skeleton: `num_interiors` interiors in BFS order plus
+/// exactly enough shared leaves to fill every remaining child slot.
+/// This realizes n₀(I) = 2k + 2(I−1)(k−1) nodes and is k-regular.
+/// Requires k >= 2, num_interiors >= 1.
+TreePlan base_plan(std::int32_t k, std::int32_t num_interiors);
+
+/// Interiors of `plan` that currently have at least one leaf child
+/// (the only legal hosts for added leaves), in BFS order.
+std::vector<std::int32_t> bottom_interiors(const TreePlan& plan);
+
+/// Appends one extra *shared* leaf under interior `host`.
+void add_extra_leaf(TreePlan& plan, std::int32_t host);
+
+/// Converts the shared leaf with index `leaf` into an unshared k-clique
+/// group (K-DIAMOND).  Throws if it is already unshared.
+void make_leaf_unshared(TreePlan& plan, std::int32_t leaf);
+
+/// Number of interiors in the base skeleton that have at least one leaf
+/// slot, without materializing the plan.  Used by existence predicates.
+std::int32_t count_bottom_interiors(std::int32_t k, std::int32_t num_interiors);
+
+}  // namespace lhg

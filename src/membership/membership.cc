@@ -1,0 +1,53 @@
+#include "membership/membership.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/format.h"
+
+namespace lhg::membership {
+
+using core::Edge;
+
+Churn diff(const core::Graph& before, const core::Graph& after) {
+  Churn churn;
+  const auto old_edges = before.edges();
+  const auto new_edges = after.edges();
+  // Both edge lists are canonical and sorted: one merge pass.
+  std::set_difference(new_edges.begin(), new_edges.end(), old_edges.begin(),
+                      old_edges.end(), std::back_inserter(churn.added));
+  std::set_difference(old_edges.begin(), old_edges.end(), new_edges.begin(),
+                      new_edges.end(), std::back_inserter(churn.removed));
+  return churn;
+}
+
+Overlay::Overlay(core::NodeId n, std::int32_t k, Constraint constraint)
+    : k_(k), constraint_(constraint), graph_(build(n, k, constraint)) {}
+
+bool Overlay::can_grow() const {
+  return exists(static_cast<std::int64_t>(size()) + 1, k_, constraint_);
+}
+
+bool Overlay::can_shrink() const {
+  return exists(static_cast<std::int64_t>(size()) - 1, k_, constraint_);
+}
+
+Churn Overlay::resize(core::NodeId new_size) {
+  if (!exists(new_size, k_, constraint_)) {
+    throw std::invalid_argument(
+        core::format("overlay cannot resize to n={} under {} (k={})",
+                     new_size, to_string(constraint_), k_));
+  }
+  core::Graph next = build(new_size, k_, constraint_);
+  Churn churn = diff(graph_, next);
+  graph_ = std::move(next);
+  cumulative_churn_ += churn.total();
+  ++generations_;
+  return churn;
+}
+
+Churn Overlay::add_node() { return resize(size() + 1); }
+
+Churn Overlay::remove_node() { return resize(size() - 1); }
+
+}  // namespace lhg::membership

@@ -1,0 +1,80 @@
+// Dynamic membership: maintaining an LHG overlay as nodes join/leave.
+//
+// The paper constructs a static topology for a fixed n; any deployment
+// (its motivating setting is peer-to-peer) must handle churn.  This
+// module quantifies the cost of the natural strategy — recompute the
+// constraint-conformant overlay for the new n and rewire the
+// difference — which is also the honest baseline any incremental
+// scheme must beat.
+//
+// Churn is measured as the symmetric difference between consecutive
+// edge sets under the canonical labeling (interiors first by copy, then
+// shared leaves, then unshared groups).  Because labels shift when the
+// tree shape changes, this is an upper bound on the rewiring a
+// deployment with stable node identities would need; EXPERIMENTS.md
+// discusses the gap.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.h"
+#include "lhg/lhg.h"
+
+namespace lhg::membership {
+
+/// Edge-set difference between two overlay generations.
+struct Churn {
+  std::vector<core::Edge> added;
+  std::vector<core::Edge> removed;
+
+  std::int64_t total() const {
+    return static_cast<std::int64_t>(added.size() + removed.size());
+  }
+};
+
+/// Symmetric difference between the edge sets of `before` and `after`
+/// (node counts may differ; ids are compared as labels).
+Churn diff(const core::Graph& before, const core::Graph& after);
+
+/// A managed LHG overlay that follows membership changes.
+class Overlay {
+ public:
+  /// Starts with `n` nodes and fault parameter `k` under `constraint`.
+  /// Throws if the pair is not realizable.
+  Overlay(core::NodeId n, std::int32_t k,
+          Constraint constraint = Constraint::kKTree);
+
+  const core::Graph& graph() const { return graph_; }
+  core::NodeId size() const { return graph_.num_nodes(); }
+  std::int32_t k() const { return k_; }
+  Constraint constraint() const { return constraint_; }
+
+  /// True iff the overlay can grow/shrink by one under its constraint.
+  bool can_grow() const;
+  bool can_shrink() const;
+
+  /// Adds / removes one node, rewiring to the constraint-conformant
+  /// topology for the new size.  Returns the rewiring cost.  Throws if
+  /// the new size is not realizable (can_grow/can_shrink false).
+  Churn add_node();
+  Churn remove_node();
+
+  /// Rewires straight to an arbitrary realizable size.
+  Churn resize(core::NodeId new_size);
+
+  /// Cumulative rewiring cost since construction.
+  std::int64_t cumulative_churn() const { return cumulative_churn_; }
+  /// Number of membership changes applied.
+  std::int64_t generations() const { return generations_; }
+
+ private:
+  std::int32_t k_;
+  Constraint constraint_;
+  core::Graph graph_;
+  std::int64_t cumulative_churn_ = 0;
+  std::int64_t generations_ = 0;
+};
+
+}  // namespace lhg::membership

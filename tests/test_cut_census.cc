@@ -1,0 +1,103 @@
+// Tests for the fatal-subset census.
+
+#include "core/cut_census.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/connectivity.h"
+#include "core/special.h"
+#include "harary/harary.h"
+#include "lhg/lhg.h"
+
+namespace lhg::core {
+namespace {
+
+TEST(CutCensus, CycleSingletonsAreNeverFatal) {
+  const auto census = fatal_node_subsets(cycle_graph(8), 1);
+  EXPECT_EQ(census.subsets_checked, 8);
+  EXPECT_EQ(census.fatal, 0);
+  EXPECT_FALSE(census.truncated);
+}
+
+TEST(CutCensus, CyclePairsCountExactly) {
+  // C_8: a pair is fatal iff the two nodes are non-adjacent:
+  // C(8,2) − 8 = 20 fatal pairs.
+  const auto census = fatal_node_subsets(cycle_graph(8), 2);
+  EXPECT_EQ(census.subsets_checked, 28);
+  EXPECT_EQ(census.fatal, 20);
+}
+
+TEST(CutCensus, PathInteriorSingletonsAreFatal) {
+  const auto census = fatal_node_subsets(path_graph(6), 1);
+  EXPECT_EQ(census.fatal, 4);  // every non-endpoint
+}
+
+TEST(CutCensus, CompleteGraphHasNoCuts) {
+  const auto census = fatal_node_subsets(complete_graph(6), 3);
+  EXPECT_EQ(census.fatal, 0);
+}
+
+TEST(CutCensus, AgreesWithConnectivityThreshold) {
+  // For a k-connected graph, subsets below size k are never fatal and
+  // at size k at least one is (unless complete).
+  const auto g = lhg::build(14, 3);
+  EXPECT_EQ(fatal_node_subsets(g, 2).fatal, 0);
+  const auto at_k = fatal_node_subsets(g, 3);
+  EXPECT_GT(at_k.fatal, 0);
+  EXPECT_EQ(vertex_connectivity(g), 3);
+}
+
+TEST(CutCensus, TruncationCap) {
+  const auto census = fatal_node_subsets(cycle_graph(20), 2, 10);
+  EXPECT_EQ(census.subsets_checked, 10);
+  EXPECT_TRUE(census.truncated);
+}
+
+TEST(CutCensus, SampledEstimateTracksExact) {
+  const auto g = cycle_graph(10);
+  const auto exact = fatal_node_subsets(g, 2);
+  Rng rng(7);
+  const auto sampled = sampled_fatal_subsets(g, 2, 4000, rng);
+  EXPECT_NEAR(sampled.fatal_fraction(), exact.fatal_fraction(), 0.05);
+}
+
+TEST(CutCensus, SubsetCount) {
+  EXPECT_DOUBLE_EQ(subset_count(8, 2), 28.0);
+  EXPECT_DOUBLE_EQ(subset_count(10, 3), 120.0);
+  EXPECT_DOUBLE_EQ(subset_count(5, 0), 1.0);
+}
+
+TEST(CutCensus, Validation) {
+  const auto g = cycle_graph(5);
+  EXPECT_THROW(fatal_node_subsets(g, 0), std::invalid_argument);
+  EXPECT_THROW(fatal_node_subsets(g, 5), std::invalid_argument);
+  Rng rng(1);
+  EXPECT_THROW(sampled_fatal_subsets(g, 2, -1, rng), std::invalid_argument);
+}
+
+TEST(CutCensus, LhgVsHararyFragilityCrossover) {
+  // The E17 nuance: at subset size exactly k the LHG has MORE minimum
+  // cuts than the circulant (every shared leaf's parent set is one),
+  // yet at larger subset sizes the ordering flips — the circulant's
+  // ring locality makes bigger random subsets far deadlier, which is
+  // what the survival experiment E7 measures.
+  const core::NodeId n = 18;
+  const std::int32_t k = 3;
+  const auto lhg_graph = lhg::build(n, k);
+  const auto harary_graph = harary::circulant(n, k);
+
+  const auto lhg_at_k = fatal_node_subsets(lhg_graph, k);
+  const auto harary_at_k = fatal_node_subsets(harary_graph, k);
+  EXPECT_GT(lhg_at_k.fatal, 0);
+  EXPECT_GT(harary_at_k.fatal, 0);
+  EXPECT_GT(lhg_at_k.fatal, harary_at_k.fatal);  // leaf parent-sets
+
+  const auto lhg_wide = fatal_node_subsets(lhg_graph, 6);
+  const auto harary_wide = fatal_node_subsets(harary_graph, 6);
+  EXPECT_GT(harary_wide.fatal_fraction(), lhg_wide.fatal_fraction());
+}
+
+}  // namespace
+}  // namespace lhg::core

@@ -1,0 +1,98 @@
+// Tests for the discrete-event simulator.
+
+#include "flooding/event_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace lhg::flooding {
+namespace {
+
+TEST(Simulator, RunsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.events_processed(), 3);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, CallbacksCanScheduleMore) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, ScheduleInUsesCurrentTime) {
+  Simulator sim;
+  double observed = -1.0;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_in(0.5, [&] { observed = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(observed, 2.5);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&] { ++fired; });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RejectsPastAndInvalid) {
+  Simulator sim;
+  sim.schedule_at(2.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(3.0, Simulator::Callback{}),
+               std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(std::nan(""), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, ManyEventsStayConsistent) {
+  Simulator sim;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 999; i >= 0; --i) {
+    sim.schedule_at(static_cast<double>(i), [&, i] {
+      if (sim.now() < last) monotone = false;
+      last = sim.now();
+      (void)i;
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.events_processed(), 1000);
+}
+
+}  // namespace
+}  // namespace lhg::flooding

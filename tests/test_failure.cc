@@ -1,0 +1,90 @@
+// Tests for failure-plan generators.
+
+#include "flooding/failure.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "core/connectivity.h"
+#include "harary/harary.h"
+#include "lhg/lhg.h"
+
+namespace lhg::flooding {
+namespace {
+
+using core::NodeId;
+
+TEST(Failure, RandomCrashesRespectProtectAndCount) {
+  const auto g = lhg::build(30, 3);
+  core::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto plan = random_crashes(g, 5, /*protect=*/7, rng);
+    EXPECT_EQ(plan.crashes.size(), 5u);
+    std::set<NodeId> seen;
+    for (const auto& crash : plan.crashes) {
+      EXPECT_NE(crash.node, 7);
+      EXPECT_GE(crash.node, 0);
+      EXPECT_LT(crash.node, 30);
+      EXPECT_TRUE(seen.insert(crash.node).second);
+    }
+  }
+}
+
+TEST(Failure, RandomCrashesValidation) {
+  const auto g = lhg::build(10, 3);
+  core::Rng rng(1);
+  EXPECT_THROW(random_crashes(g, 10, 0, rng), std::invalid_argument);
+  EXPECT_THROW(random_crashes(g, -1, 0, rng), std::invalid_argument);
+  EXPECT_TRUE(random_crashes(g, 0, 0, rng).crashes.empty());
+}
+
+TEST(Failure, TargetedCrashesPickHighestDegrees) {
+  // (9,3) K-TREE has three degree-6 roots; they must be hit first.
+  const auto g = lhg::build(9, 3);
+  const auto plan = targeted_crashes(g, 3, /*protect=*/8);
+  ASSERT_EQ(plan.crashes.size(), 3u);
+  for (const auto& crash : plan.crashes) {
+    EXPECT_EQ(g.degree(crash.node), 6);
+  }
+}
+
+TEST(Failure, CutTargetedCrashesHitAMinimumCut) {
+  const auto g = lhg::build(14, 3);
+  core::Rng rng(3);
+  const auto plan = cut_targeted_crashes(g, 3, /*protect=*/0, rng);
+  EXPECT_EQ(plan.crashes.size(), 3u);
+  // With k crashes aimed at a k-cut the graph should disconnect
+  // (unless the source-protection displaced a cut member).
+  std::vector<NodeId> removed;
+  for (const auto& crash : plan.crashes) removed.push_back(crash.node);
+  // The plan must at least contain a full minimum cut or k distinct nodes.
+  std::set<NodeId> unique(removed.begin(), removed.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(Failure, LinkFailuresAreDistinctLinks) {
+  const auto g = lhg::build(22, 3);
+  core::Rng rng(5);
+  const auto plan = random_link_failures(g, 8, rng);
+  EXPECT_EQ(plan.link_failures.size(), 8u);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& failure : plan.link_failures) {
+    EXPECT_TRUE(g.has_edge(failure.link.u, failure.link.v));
+    EXPECT_TRUE(seen.insert({failure.link.u, failure.link.v}).second);
+  }
+  EXPECT_THROW(
+      random_link_failures(g, static_cast<std::int32_t>(g.num_edges()) + 1, rng),
+      std::invalid_argument);
+}
+
+TEST(Failure, TotalFailuresCountsBoth) {
+  FailurePlan plan;
+  plan.crashes.push_back({1, 0.0});
+  plan.link_failures.push_back({{0, 1}, 0.0});
+  EXPECT_EQ(plan.total_failures(), 2u);
+}
+
+}  // namespace
+}  // namespace lhg::flooding

@@ -1,0 +1,154 @@
+// End-to-end fault-tolerance tests: the paper's guarantee is that a
+// k-connected topology floods to every live node despite ANY k−1
+// fail-stop crashes.  Small graphs are checked exhaustively over every
+// (k−1)-subset; larger ones over random and adversarial samples.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "core/connectivity.h"
+#include "flooding/failure.h"
+#include "flooding/protocols.h"
+#include "harary/harary.h"
+#include "lhg/lhg.h"
+
+namespace lhg::flooding {
+namespace {
+
+using core::Graph;
+using core::NodeId;
+
+/// Floods after crashing exactly `crashed`; true iff every live node
+/// (incl. a live source) was delivered.
+bool flood_survives(const Graph& g, NodeId source,
+                    const std::vector<NodeId>& crashed) {
+  FailurePlan plan;
+  for (NodeId u : crashed) plan.crashes.push_back({u, 0.0});
+  const auto result = flood(g, {.source = source}, plan);
+  return result.all_alive_delivered();
+}
+
+TEST(FaultTolerance, ExhaustiveTwoCrashesOnSmallLhg) {
+  // k = 3: any 2 crashes must leave flooding complete.  (22,3) K-TREE.
+  const auto g = lhg::build(22, 3);
+  const NodeId source = 0;
+  for (NodeId a = 1; a < g.num_nodes(); ++a) {
+    for (NodeId b = a + 1; b < g.num_nodes(); ++b) {
+      EXPECT_TRUE(flood_survives(g, source, {a, b}))
+          << "crashes {" << a << "," << b << "}";
+    }
+  }
+}
+
+TEST(FaultTolerance, ExhaustiveTwoCrashesOnKDiamond) {
+  const auto g = lhg::build(14, 3, lhg::Constraint::kKDiamond);
+  for (NodeId a = 1; a < g.num_nodes(); ++a) {
+    for (NodeId b = a + 1; b < g.num_nodes(); ++b) {
+      EXPECT_TRUE(flood_survives(g, 0, {a, b}))
+          << "crashes {" << a << "," << b << "}";
+    }
+  }
+}
+
+TEST(FaultTolerance, ExhaustiveSingleLinkFailures) {
+  // k−1 = 2 link failures: check every single and a sample of pairs.
+  const auto g = lhg::build(16, 3);
+  const auto edges = g.edges();
+  for (const auto& e1 : edges) {
+    FailurePlan plan;
+    plan.link_failures.push_back({e1, 0.0});
+    const auto result = flood(g, {.source = 0}, plan);
+    EXPECT_TRUE(result.all_alive_delivered())
+        << "link (" << e1.u << "," << e1.v << ")";
+  }
+}
+
+TEST(FaultTolerance, AllLinkFailurePairs) {
+  const auto g = lhg::build(10, 3);
+  const auto edges = g.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    for (std::size_t j = i + 1; j < edges.size(); ++j) {
+      FailurePlan plan;
+      plan.link_failures.push_back({edges[i], 0.0});
+      plan.link_failures.push_back({edges[j], 0.0});
+      const auto result = flood(g, {.source = 0}, plan);
+      EXPECT_TRUE(result.all_alive_delivered()) << i << "," << j;
+    }
+  }
+}
+
+class FaultToleranceSweep
+    : public ::testing::TestWithParam<std::tuple<lhg::Constraint, int, int>> {};
+
+TEST_P(FaultToleranceSweep, RandomAndAdversarialCrashesUpToKMinus1) {
+  const auto [constraint, k, n_offset] = GetParam();
+  const std::int64_t n = 4 * k + n_offset;
+  if (!lhg::exists(n, k, constraint)) GTEST_SKIP();
+  const auto g = lhg::build(static_cast<NodeId>(n), k, constraint);
+  core::Rng rng(static_cast<std::uint64_t>(k * 1000 + n_offset));
+  const NodeId source = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto random_plan = random_crashes(g, k - 1, source, rng);
+    std::vector<NodeId> crashed;
+    for (const auto& c : random_plan.crashes) crashed.push_back(c.node);
+    EXPECT_TRUE(flood_survives(g, source, crashed));
+  }
+  // The strongest adversary: aim k−1 crashes at a minimum vertex cut.
+  const auto cut_plan = cut_targeted_crashes(g, k - 1, source, rng);
+  std::vector<NodeId> crashed;
+  for (const auto& c : cut_plan.crashes) crashed.push_back(c.node);
+  EXPECT_TRUE(flood_survives(g, source, crashed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FaultToleranceSweep,
+    ::testing::Combine(::testing::Values(lhg::Constraint::kKTree,
+                                         lhg::Constraint::kKDiamond),
+                       ::testing::Values(3, 4, 5),
+                       ::testing::Values(0, 3, 7, 12)));
+
+TEST(FaultTolerance, KCrashesCanPartitionButOnlyAtACut) {
+  // Crashing a full minimum vertex cut (k nodes) must disconnect the
+  // flood — the guarantee is tight.
+  const auto g = lhg::build(22, 3);
+  const auto cut = core::minimum_vertex_cut(g);
+  ASSERT_TRUE(cut.has_value());
+  ASSERT_EQ(cut->size(), 3u);
+  // Flood from any source outside the cut: the far side must starve.
+  NodeId source = 0;
+  while (std::find(cut->begin(), cut->end(), source) != cut->end()) ++source;
+  EXPECT_FALSE(flood_survives(g, source, *cut));
+}
+
+TEST(FaultTolerance, HararyBaselineAlsoSurvivesButSlower) {
+  // H(k, n) also tolerates k−1 crashes — at linear latency.  Both facts
+  // matter for the E5 comparison.
+  const auto g = harary::circulant(60, 4);
+  core::Rng rng(4);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto plan = random_crashes(g, 3, 0, rng);
+    FailurePlan fp = plan;
+    const auto result = flood(g, {.source = 0}, fp);
+    EXPECT_TRUE(result.all_alive_delivered());
+    EXPECT_GE(result.completion_hops, 7);  // >= (n/2)/(k/2) − crashes margin
+  }
+}
+
+TEST(FaultTolerance, MidFloodCrashStillBounded) {
+  // A node crashing while the flood is in flight can only lose nodes
+  // whose every path went through it at that instant; with k = 3 and a
+  // single crash the flood must still complete.
+  const auto g = lhg::build(46, 3);
+  for (NodeId victim = 1; victim < 10; ++victim) {
+    FailurePlan plan;
+    plan.crashes.push_back({victim, 1.5});  // mid-flood (unit latency)
+    const auto result = flood(g, {.source = 0}, plan);
+    EXPECT_TRUE(result.all_alive_delivered()) << "victim " << victim;
+  }
+}
+
+}  // namespace
+}  // namespace lhg::flooding

@@ -1,0 +1,48 @@
+// Unit tests for the minimal {} formatter.
+
+#include "core/format.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lhg::core {
+namespace {
+
+TEST(Format, NoPlaceholders) { EXPECT_EQ(format("hello"), "hello"); }
+
+TEST(Format, BasicSubstitution) {
+  EXPECT_EQ(format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+}
+
+TEST(Format, MixedTypes) {
+  EXPECT_EQ(format("{}/{}", "a", 2.5), "a/2.5");
+}
+
+TEST(Format, FixedPrecision) {
+  EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+  EXPECT_EQ(format("{:.0f}", 2.71), "3");
+  EXPECT_EQ(format("x={:.3f}!", 1.0), "x=1.000!");
+}
+
+TEST(Format, EscapedBrace) {
+  EXPECT_EQ(format("{{}}"), "{}");
+  EXPECT_EQ(format("{{{}}}", 7), "{7}");
+}
+
+TEST(Format, ArityMismatchThrows) {
+  EXPECT_THROW(format("{} {}", 1), std::invalid_argument);
+  EXPECT_THROW(format("{}", 1, 2), std::invalid_argument);
+  EXPECT_THROW(format("no holes", 1), std::invalid_argument);
+}
+
+TEST(Format, UnterminatedPlaceholderThrows) {
+  EXPECT_THROW(format("{", 1), std::invalid_argument);
+}
+
+TEST(Format, UnknownSpecThrows) {
+  EXPECT_THROW(format("{:x}", 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lhg::core

@@ -1,0 +1,174 @@
+// Unit tests for core::Graph / core::GraphBuilder.
+
+#include "core/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace lhg::core {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  Graph g2 = Graph::from_edges(0, {});
+  EXPECT_EQ(g2.num_nodes(), 0);
+  EXPECT_EQ(g2.num_edges(), 0);
+}
+
+TEST(Graph, SingleNode) {
+  Graph g = Graph::from_edges(1, {});
+  EXPECT_EQ(g.num_nodes(), 1);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.degree(0), 0);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(Graph, TriangleBasics) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}};
+  Graph g = Graph::from_edges(3, edges);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(g.degree(u), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_TRUE(g.is_regular(2));
+  EXPECT_FALSE(g.is_regular(3));
+}
+
+TEST(Graph, EdgesAreCanonicalAndSorted) {
+  const std::vector<Edge> edges{{3, 1}, {2, 0}, {1, 0}};
+  Graph g = Graph::from_edges(4, edges);
+  const auto out = g.edges();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (Edge{0, 1}));
+  EXPECT_EQ(out[1], (Edge{0, 2}));
+  EXPECT_EQ(out[2], (Edge{1, 3}));
+}
+
+TEST(Graph, DuplicateEdgesDeduplicated) {
+  const std::vector<Edge> edges{{0, 1}, {1, 0}, {0, 1}};
+  Graph g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(0), 1);
+}
+
+TEST(Graph, NeighborsSorted) {
+  const std::vector<Edge> edges{{2, 5}, {2, 1}, {2, 4}, {2, 0}};
+  Graph g = Graph::from_edges(6, edges);
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_EQ(nbrs[0], 0);
+  EXPECT_EQ(nbrs[1], 1);
+  EXPECT_EQ(nbrs[2], 4);
+  EXPECT_EQ(nbrs[3], 5);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  const std::vector<Edge> edges{{1, 1}};
+  EXPECT_THROW(Graph::from_edges(3, edges), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  const std::vector<Edge> edges{{0, 5}};
+  EXPECT_THROW(Graph::from_edges(3, edges), std::invalid_argument);
+  EXPECT_THROW(Graph::from_edges(3, std::vector<Edge>{{-1, 0}}),
+               std::invalid_argument);
+}
+
+TEST(Graph, WithoutEdge) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}};
+  Graph g = Graph::from_edges(3, edges);
+  Graph h = g.without_edge(2, 0);
+  EXPECT_EQ(h.num_edges(), 2);
+  EXPECT_FALSE(h.has_edge(0, 2));
+  EXPECT_TRUE(h.has_edge(0, 1));
+  EXPECT_THROW(h.without_edge(0, 2), std::invalid_argument);
+}
+
+TEST(Graph, InducedWithout) {
+  // Path 0-1-2-3; removing node 1 leaves {0}, {2-3} relabeled.
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}};
+  Graph g = Graph::from_edges(4, edges);
+  std::vector<NodeId> mapping;
+  const std::vector<NodeId> removed{1};
+  Graph h = g.induced_without(removed, &mapping);
+  EXPECT_EQ(h.num_nodes(), 3);
+  EXPECT_EQ(h.num_edges(), 1);
+  EXPECT_EQ(mapping[1], -1);
+  EXPECT_TRUE(h.has_edge(mapping[2], mapping[3]));
+}
+
+TEST(Graph, DegreeStats) {
+  // Star K_{1,3}.
+  const std::vector<Edge> edges{{0, 1}, {0, 2}, {0, 3}};
+  Graph g = Graph::from_edges(4, edges);
+  EXPECT_EQ(g.min_degree(), 1);
+  EXPECT_EQ(g.max_degree(), 3);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.5);
+}
+
+TEST(Graph, Equality) {
+  const std::vector<Edge> a{{0, 1}, {1, 2}};
+  const std::vector<Edge> b{{2, 1}, {1, 0}};
+  EXPECT_EQ(Graph::from_edges(3, a), Graph::from_edges(3, b));
+  EXPECT_FALSE(Graph::from_edges(3, a) == Graph::from_edges(4, a));
+}
+
+TEST(GraphBuilder, BasicFlow) {
+  GraphBuilder builder(4);
+  EXPECT_TRUE(builder.add_edge(0, 1));
+  EXPECT_FALSE(builder.add_edge(1, 0));  // duplicate, idempotent
+  EXPECT_TRUE(builder.add_edge(2, 3));
+  EXPECT_TRUE(builder.has_edge(3, 2));
+  EXPECT_FALSE(builder.has_edge(0, 2));
+  Graph g = builder.build();
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(GraphBuilder, Validation) {
+  GraphBuilder builder(3);
+  EXPECT_THROW(builder.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(builder.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(builder.add_edge(-1, 1), std::invalid_argument);
+  EXPECT_THROW(GraphBuilder(-1), std::invalid_argument);
+}
+
+TEST(GraphBuilder, ReusableAfterBuild) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  Graph g1 = builder.build();
+  builder.add_edge(1, 2);
+  Graph g2 = builder.build();
+  EXPECT_EQ(g1.num_edges(), 1);
+  EXPECT_EQ(g2.num_edges(), 2);
+}
+
+TEST(Graph, Describe) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}};
+  Graph g = Graph::from_edges(3, edges);
+  EXPECT_EQ(describe(g), "Graph(n=3, m=3, deg 2..2)");
+}
+
+TEST(Graph, LargeCsrConsistency) {
+  // A 1000-node ring: every adjacency query must agree with the edge set.
+  GraphBuilder builder(1000);
+  for (NodeId i = 0; i < 1000; ++i) {
+    builder.add_edge(i, static_cast<NodeId>((i + 1) % 1000));
+  }
+  Graph g = builder.build();
+  EXPECT_EQ(g.num_edges(), 1000);
+  for (NodeId i = 0; i < 1000; ++i) {
+    EXPECT_EQ(g.degree(i), 2);
+    EXPECT_TRUE(g.has_edge(i, (i + 1) % 1000));
+    EXPECT_FALSE(g.has_edge(i, (i + 2) % 1000));
+  }
+}
+
+}  // namespace
+}  // namespace lhg::core

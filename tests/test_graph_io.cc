@@ -1,0 +1,66 @@
+// Unit tests for DOT / edge-list serialization.
+
+#include "core/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lhg::core {
+namespace {
+
+Graph triangle() {
+  return Graph::from_edges(3, std::vector<Edge>{{0, 1}, {1, 2}, {2, 0}});
+}
+
+TEST(GraphIo, DotContainsAllEdges) {
+  const auto dot = to_dot(triangle(), "T");
+  EXPECT_NE(dot.find("graph T {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 2;"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2;"), std::string::npos);
+}
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  Graph g = triangle();
+  Graph back = from_edge_list_string(to_edge_list_string(g));
+  EXPECT_EQ(g, back);
+}
+
+TEST(GraphIo, EdgeListFormat) {
+  EXPECT_EQ(to_edge_list_string(triangle()), "3 3\n0 1\n0 2\n1 2\n");
+}
+
+TEST(GraphIo, ReadSkipsComments) {
+  const std::string text = "# a comment\n3 1\n# another\n0 2\n";
+  Graph g = from_edge_list_string(text);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(GraphIo, ReadRejectsMalformed) {
+  EXPECT_THROW(from_edge_list_string(""), std::invalid_argument);
+  EXPECT_THROW(from_edge_list_string("abc\n"), std::invalid_argument);
+  EXPECT_THROW(from_edge_list_string("3 2\n0 1\n"), std::invalid_argument);
+  EXPECT_THROW(from_edge_list_string("3 1\n0 bad\n"), std::invalid_argument);
+  EXPECT_THROW(from_edge_list_string("3 1\n0 9\n"), std::invalid_argument);
+  EXPECT_THROW(from_edge_list_string("-2 0\n"), std::invalid_argument);
+}
+
+TEST(GraphIo, EmptyGraphRoundTrip) {
+  Graph g = Graph::from_edges(0, {});
+  Graph back = from_edge_list_string(to_edge_list_string(g));
+  EXPECT_EQ(back.num_nodes(), 0);
+  EXPECT_EQ(back.num_edges(), 0);
+}
+
+TEST(GraphIo, StreamInterface) {
+  std::stringstream stream;
+  write_edge_list(triangle(), stream);
+  Graph back = read_edge_list(stream);
+  EXPECT_EQ(back, triangle());
+}
+
+}  // namespace
+}  // namespace lhg::core

@@ -1,0 +1,87 @@
+// Tests for the heartbeat failure-detection layer.
+
+#include "flooding/heartbeat.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "lhg/lhg.h"
+
+namespace lhg::flooding {
+namespace {
+
+TEST(Heartbeat, QuietWhenNothingFails) {
+  const auto g = lhg::build(22, 3);
+  const auto result = run_heartbeat(g, {.horizon = 20.0});
+  EXPECT_EQ(result.false_suspicions, 0);
+  EXPECT_TRUE(result.detections.empty());
+  // n nodes × deg k × horizon/interval beats.
+  EXPECT_GT(result.heartbeats_sent, 0);
+  EXPECT_LE(result.heartbeats_sent,
+            static_cast<std::int64_t>(2 * g.num_edges()) * 20);
+}
+
+TEST(Heartbeat, DetectsACrashWithinTimeoutPlusInterval) {
+  const auto g = lhg::build(22, 3);
+  FailurePlan plan;
+  plan.crashes.push_back({5, 10.0});
+  const auto result = run_heartbeat(
+      g, {.interval = 1.0, .timeout = 3.0, .horizon = 30.0}, plan);
+  ASSERT_EQ(result.detections.size(), 1u);
+  const auto& detection = result.detections[0];
+  EXPECT_EQ(detection.node, 5);
+  EXPECT_GE(detection.detection_latency, 0.0);
+  // Last beat at t<=10, suspicion within timeout + interval + latency.
+  EXPECT_LE(detection.detection_latency, 3.0 + 1.0 + 0.5);
+  EXPECT_TRUE(result.all_crashes_detected());
+  EXPECT_EQ(result.false_suspicions, 0);
+}
+
+TEST(Heartbeat, DetectsMultipleCrashes) {
+  const auto g = lhg::build(30, 3);
+  FailurePlan plan;
+  plan.crashes.push_back({2, 8.0});
+  plan.crashes.push_back({9, 15.0});
+  const auto result = run_heartbeat(g, {.horizon = 40.0}, plan);
+  EXPECT_EQ(result.detections.size(), 2u);
+  EXPECT_TRUE(result.all_crashes_detected());
+  EXPECT_GT(result.max_detection_latency(), 0.0);
+}
+
+TEST(Heartbeat, LossCausesFalseSuspicions) {
+  // With aggressive timeout (2 intervals) and 40% loss, some pair will
+  // miss 2 beats in a row over a long horizon.
+  const auto g = lhg::build(22, 3);
+  const auto result = run_heartbeat(
+      g, {.interval = 1.0, .timeout = 2.1, .horizon = 60.0,
+          .loss_probability = 0.4, .seed = 3});
+  EXPECT_GT(result.false_suspicions, 0);
+}
+
+TEST(Heartbeat, GenerousTimeoutSuppressesFalseSuspicions) {
+  const auto g = lhg::build(22, 3);
+  const auto result = run_heartbeat(
+      g, {.interval = 1.0, .timeout = 8.0, .horizon = 60.0,
+          .loss_probability = 0.2, .seed = 3});
+  EXPECT_EQ(result.false_suspicions, 0);
+}
+
+TEST(Heartbeat, CrashAfterHorizonIgnored) {
+  const auto g = lhg::build(10, 3);
+  FailurePlan plan;
+  plan.crashes.push_back({1, 100.0});
+  const auto result = run_heartbeat(g, {.horizon = 20.0}, plan);
+  EXPECT_TRUE(result.detections.empty());
+}
+
+TEST(Heartbeat, Validation) {
+  const auto g = lhg::build(10, 3);
+  EXPECT_THROW(run_heartbeat(g, {.interval = 0.0}), std::invalid_argument);
+  EXPECT_THROW(run_heartbeat(g, {.interval = 2.0, .timeout = 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(run_heartbeat(g, {.horizon = -1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lhg::flooding

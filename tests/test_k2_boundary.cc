@@ -1,0 +1,54 @@
+// The k = 2 boundary: no 2-regular graph can have logarithmic diameter
+// (a connected 2-regular graph IS a cycle), so the paste-trees
+// construction degenerates there.  These tests pin the honest behaviour
+// of the library at the boundary rather than hiding it.
+
+#include <gtest/gtest.h>
+
+#include "core/connectivity.h"
+#include "core/diameter.h"
+#include "lhg/lhg.h"
+#include "lhg/verifier.h"
+
+namespace lhg {
+namespace {
+
+TEST(KTwoBoundary, SmallGraphsStillQualify) {
+  // At small n the cycle diameter fits under the log envelope, so the
+  // k = 2 construction yields genuine LHGs.
+  for (const core::NodeId n : {4, 6, 9, 13}) {
+    const auto g = build(n, 2);
+    const auto report = verify(g, 2);
+    EXPECT_TRUE(report.is_lhg()) << "n=" << n;
+  }
+}
+
+TEST(KTwoBoundary, RegularSizesAreCycles) {
+  // On its regular lattice (every even n), the k = 2 construction is
+  // exactly the cycle C_n = H(2, n).
+  const auto g = build(24, 2);
+  EXPECT_TRUE(g.is_regular(2));
+  EXPECT_TRUE(core::is_k_vertex_connected(g, 2));
+  EXPECT_EQ(core::diameter(g), 12);
+}
+
+TEST(KTwoBoundary, LargeGraphsFailP4AsTheoryRequires) {
+  // P1-P3 hold at any size; P4 must fail once n/2 outgrows c·log2(n):
+  // the library reports this honestly instead of pretending.
+  const auto g = build(200, 2);
+  const auto report = verify(g, 2, {.minimality_sample = 32});
+  EXPECT_TRUE(report.p1_node_connected);
+  EXPECT_TRUE(report.p2_link_connected);
+  EXPECT_TRUE(report.p3_link_minimal);
+  EXPECT_FALSE(report.p4_log_diameter);
+  EXPECT_FALSE(report.is_lhg());
+}
+
+TEST(KTwoBoundary, KThreeIsTheFirstRealLhgFamily) {
+  // k = 3 keeps P4 at scale — the smallest k with true log diameter.
+  const auto report = verify(build(246, 3), 3, {.minimality_sample = 32});
+  EXPECT_TRUE(report.is_lhg());
+}
+
+}  // namespace
+}  // namespace lhg

@@ -1,0 +1,116 @@
+// Property tests for the node-id layout of pasted LHGs: the three
+// populations (replicated interiors, shared leaves, unshared groups)
+// must tile the id space exactly, and every edge of the realized graph
+// must be one of the four legal kinds.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "lhg/lhg.h"
+
+namespace lhg {
+namespace {
+
+using core::NodeId;
+
+enum class NodeKind { kInterior, kSharedLeaf, kGroupMember };
+
+NodeKind kind_of(const Layout& layout, NodeId node) {
+  if (node < layout.k * layout.num_interiors) return NodeKind::kInterior;
+  if (node < layout.k * layout.num_interiors + layout.num_shared_leaves) {
+    return NodeKind::kSharedLeaf;
+  }
+  return NodeKind::kGroupMember;
+}
+
+class LayoutSweep
+    : public ::testing::TestWithParam<std::tuple<Constraint, int, int>> {};
+
+TEST_P(LayoutSweep, PopulationsTileAndEdgesAreLegal) {
+  const auto [constraint, k, offset] = GetParam();
+  const std::int64_t n = 2 * k + offset;
+  if (!exists(n, k, constraint)) GTEST_SKIP();
+  Layout layout;
+  const auto g = build_with_layout(static_cast<NodeId>(n), k, constraint,
+                                   &layout);
+
+  // Id accessors are mutually consistent and bijective.
+  EXPECT_EQ(layout.total_nodes(), n);
+  std::vector<int> hits(static_cast<std::size_t>(n), 0);
+  for (std::int32_t c = 0; c < layout.k; ++c) {
+    for (std::int32_t i = 0; i < layout.num_interiors; ++i) {
+      ++hits[static_cast<std::size_t>(layout.interior(c, i))];
+    }
+  }
+  for (std::int32_t s = 0; s < layout.num_shared_leaves; ++s) {
+    ++hits[static_cast<std::size_t>(layout.shared_leaf(s))];
+  }
+  for (std::int32_t q = 0; q < layout.num_unshared_groups; ++q) {
+    for (std::int32_t c = 0; c < layout.k; ++c) {
+      ++hits[static_cast<std::size_t>(layout.group_member(q, c))];
+    }
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(u)], 1) << "node " << u;
+  }
+
+  // Every edge is one of: tree edge (same copy), leaf attachment,
+  // group attachment, or clique edge (same group).
+  for (const auto e : g.edges()) {
+    const auto ku = kind_of(layout, e.u);
+    const auto kv = kind_of(layout, e.v);
+    if (ku == NodeKind::kInterior && kv == NodeKind::kInterior) {
+      std::int32_t cu = 0;
+      std::int32_t cv = 0;
+      std::int32_t iu = 0;
+      std::int32_t iv = 0;
+      ASSERT_TRUE(layout.classify_interior(e.u, &cu, &iu));
+      ASSERT_TRUE(layout.classify_interior(e.v, &cv, &iv));
+      EXPECT_EQ(cu, cv) << "tree edge crosses copies: " << e.u << "-" << e.v;
+    } else if (ku == NodeKind::kGroupMember && kv == NodeKind::kGroupMember) {
+      const auto base = layout.k * layout.num_interiors + layout.num_shared_leaves;
+      EXPECT_EQ((e.u - base) / layout.k, (e.v - base) / layout.k)
+          << "clique edge crosses groups";
+    } else {
+      // Mixed edges must involve exactly one interior.
+      EXPECT_TRUE(ku == NodeKind::kInterior || kv == NodeKind::kInterior)
+          << "leaf-leaf edge " << e.u << "-" << e.v;
+    }
+  }
+
+  // Shared leaves touch all k copies; group members exactly one.
+  for (std::int32_t s = 0; s < layout.num_shared_leaves; ++s) {
+    EXPECT_EQ(g.degree(layout.shared_leaf(s)), layout.k);
+  }
+  for (std::int32_t q = 0; q < layout.num_unshared_groups; ++q) {
+    for (std::int32_t c = 0; c < layout.k; ++c) {
+      EXPECT_EQ(g.degree(layout.group_member(q, c)), layout.k);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LayoutSweep,
+    ::testing::Combine(::testing::Values(Constraint::kStrictJD,
+                                         Constraint::kKTree,
+                                         Constraint::kKDiamond),
+                       ::testing::Values(2, 3, 4, 6),
+                       ::testing::Values(0, 1, 2, 5, 9, 16, 33)));
+
+TEST(Layout, ClassifyInteriorRejectsLeaves) {
+  Layout layout;
+  build_with_layout(14, 3, Constraint::kKDiamond, &layout);
+  std::int32_t copy = 0;
+  std::int32_t interior = 0;
+  EXPECT_FALSE(layout.classify_interior(
+      layout.shared_leaf(0), &copy, &interior));
+  EXPECT_FALSE(layout.classify_interior(-1, &copy, &interior));
+  EXPECT_TRUE(layout.classify_interior(layout.root(2), &copy, &interior));
+  EXPECT_EQ(copy, 2);
+  EXPECT_EQ(interior, 0);
+}
+
+}  // namespace
+}  // namespace lhg

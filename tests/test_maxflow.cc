@@ -1,0 +1,119 @@
+// Unit tests for the Dinic max-flow engine.
+
+#include "core/maxflow.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lhg::core {
+namespace {
+
+TEST(MaxFlow, SingleArc) {
+  FlowNetwork net(2);
+  net.add_arc(0, 1, 5);
+  EXPECT_EQ(net.max_flow(0, 1), 5);
+}
+
+TEST(MaxFlow, SeriesTakesMinimum) {
+  FlowNetwork net(3);
+  net.add_arc(0, 1, 7);
+  net.add_arc(1, 2, 3);
+  EXPECT_EQ(net.max_flow(0, 2), 3);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 2);
+  net.add_arc(1, 3, 2);
+  net.add_arc(0, 2, 3);
+  net.add_arc(2, 3, 3);
+  EXPECT_EQ(net.max_flow(0, 3), 5);
+}
+
+TEST(MaxFlow, ClassicTextbookNetwork) {
+  // CLRS figure: max flow 23.
+  FlowNetwork net(6);
+  net.add_arc(0, 1, 16);
+  net.add_arc(0, 2, 13);
+  net.add_arc(1, 2, 10);
+  net.add_arc(2, 1, 4);
+  net.add_arc(1, 3, 12);
+  net.add_arc(3, 2, 9);
+  net.add_arc(2, 4, 14);
+  net.add_arc(4, 3, 7);
+  net.add_arc(3, 5, 20);
+  net.add_arc(4, 5, 4);
+  EXPECT_EQ(net.max_flow(0, 5), 23);
+}
+
+TEST(MaxFlow, RequiresResidualRerouting) {
+  // The only max solution reroutes flow pushed greedily through the
+  // middle arc.
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 1);
+  net.add_arc(0, 2, 1);
+  net.add_arc(1, 2, 1);
+  net.add_arc(1, 3, 1);
+  net.add_arc(2, 3, 1);
+  EXPECT_EQ(net.max_flow(0, 3), 2);
+}
+
+TEST(MaxFlow, LimitStopsEarly) {
+  FlowNetwork net(2);
+  net.add_arc(0, 1, 100);
+  EXPECT_EQ(net.max_flow(0, 1, 7), 7);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  FlowNetwork net(3);
+  net.add_arc(0, 1, 4);
+  EXPECT_EQ(net.max_flow(0, 2), 0);
+}
+
+TEST(MaxFlow, FlowOnReportsPerArc) {
+  FlowNetwork net(3);
+  const auto a01 = net.add_arc(0, 1, 2);
+  const auto a12 = net.add_arc(1, 2, 9);
+  EXPECT_EQ(net.max_flow(0, 2), 2);
+  EXPECT_EQ(net.flow_on(a01), 2);
+  EXPECT_EQ(net.flow_on(a12), 2);
+  EXPECT_THROW(net.flow_on(99), std::invalid_argument);
+}
+
+TEST(MaxFlow, MinCutSourceSide) {
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 10);
+  net.add_arc(1, 2, 1);  // the bottleneck
+  net.add_arc(2, 3, 10);
+  EXPECT_EQ(net.max_flow(0, 3), 1);
+  const auto side = net.min_cut_source_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(MaxFlow, Validation) {
+  EXPECT_THROW(FlowNetwork(-1), std::invalid_argument);
+  FlowNetwork net(2);
+  EXPECT_THROW(net.add_arc(0, 5, 1), std::invalid_argument);
+  EXPECT_THROW(net.add_arc(0, 1, -1), std::invalid_argument);
+  EXPECT_THROW(net.max_flow(0, 0), std::invalid_argument);
+  EXPECT_THROW(net.max_flow(0, 9), std::invalid_argument);
+}
+
+TEST(MaxFlow, UnitBipartiteMatchingShape) {
+  // 3x3 bipartite unit network, perfect matching = 3.
+  FlowNetwork net(8);  // 0 src, 1..3 left, 4..6 right, 7 sink
+  for (int l = 1; l <= 3; ++l) net.add_arc(0, l, 1);
+  for (int r = 4; r <= 6; ++r) net.add_arc(r, 7, 1);
+  net.add_arc(1, 4, 1);
+  net.add_arc(1, 5, 1);
+  net.add_arc(2, 4, 1);
+  net.add_arc(3, 6, 1);
+  EXPECT_EQ(net.max_flow(0, 7), 3);
+}
+
+}  // namespace
+}  // namespace lhg::core

@@ -1,0 +1,135 @@
+// Tests for the dynamic-membership overlay manager.
+
+#include "membership/membership.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/connectivity.h"
+#include "lhg/verifier.h"
+
+namespace lhg::membership {
+namespace {
+
+TEST(Diff, EmptyWhenIdentical) {
+  const auto g = build(22, 3);
+  const auto churn = diff(g, g);
+  EXPECT_TRUE(churn.added.empty());
+  EXPECT_TRUE(churn.removed.empty());
+  EXPECT_EQ(churn.total(), 0);
+}
+
+TEST(Diff, DetectsSymmetricDifference) {
+  const auto a = core::Graph::from_edges(
+      3, std::vector<core::Edge>{{0, 1}, {1, 2}});
+  const auto b = core::Graph::from_edges(
+      3, std::vector<core::Edge>{{0, 1}, {0, 2}});
+  const auto churn = diff(a, b);
+  EXPECT_EQ(churn.added, (std::vector<core::Edge>{{0, 2}}));
+  EXPECT_EQ(churn.removed, (std::vector<core::Edge>{{1, 2}}));
+  EXPECT_EQ(churn.total(), 2);
+}
+
+TEST(Overlay, StartsAtRequestedSize) {
+  Overlay overlay(22, 3);
+  EXPECT_EQ(overlay.size(), 22);
+  EXPECT_EQ(overlay.k(), 3);
+  EXPECT_EQ(overlay.cumulative_churn(), 0);
+  EXPECT_EQ(overlay.generations(), 0);
+}
+
+TEST(Overlay, GrowByOneKeepsInvariants) {
+  Overlay overlay(22, 3);
+  const auto churn = overlay.add_node();
+  EXPECT_EQ(overlay.size(), 23);
+  EXPECT_GT(churn.total(), 0);
+  EXPECT_EQ(overlay.generations(), 1);
+  // The rewired overlay is still a k-connected graph.
+  EXPECT_TRUE(core::is_k_vertex_connected(overlay.graph(), 3));
+}
+
+TEST(Overlay, ChurnAccountingIsConsistent) {
+  Overlay overlay(30, 3);
+  std::int64_t manual_total = 0;
+  for (int step = 0; step < 6; ++step) {
+    manual_total += overlay.add_node().total();
+  }
+  EXPECT_EQ(overlay.cumulative_churn(), manual_total);
+  EXPECT_EQ(overlay.generations(), 6);
+  EXPECT_EQ(overlay.size(), 36);
+}
+
+TEST(Overlay, ShrinkMirrorsGrow) {
+  Overlay overlay(25, 4);
+  overlay.add_node();
+  const auto back = overlay.remove_node();
+  EXPECT_EQ(overlay.size(), 25);
+  EXPECT_GT(back.total(), 0);
+}
+
+TEST(Overlay, RefusesInfeasibleSizes) {
+  Overlay overlay(6, 3);  // minimum for k = 3
+  EXPECT_FALSE(overlay.can_shrink());
+  EXPECT_THROW(overlay.remove_node(), std::invalid_argument);
+  EXPECT_TRUE(overlay.can_grow());
+}
+
+TEST(Overlay, StrictJdSkipsUnrealizableSizes) {
+  // (8,3) strict-JD exists; (9,3) does not: growth must throw there.
+  Overlay overlay(8, 3, Constraint::kStrictJD);
+  EXPECT_FALSE(overlay.can_grow());
+  EXPECT_THROW(overlay.add_node(), std::invalid_argument);
+  // But jumping over the gap works.
+  const auto churn = overlay.resize(10);
+  EXPECT_EQ(overlay.size(), 10);
+  EXPECT_GT(churn.total(), 0);
+}
+
+TEST(Overlay, ResizeAcrossManySizesStaysLhg) {
+  Overlay overlay(12, 3, Constraint::kKDiamond);
+  for (const core::NodeId target : {17, 23, 16, 40}) {
+    overlay.resize(target);
+    const auto report = verify(overlay.graph(), 3,
+                               {.minimality_sample = 16});
+    EXPECT_TRUE(report.is_lhg()) << "n=" << target;
+  }
+}
+
+TEST(Overlay, IncrementalJoinsOffLatticeAreCheap) {
+  // Between tree-reshape boundaries a K-TREE join only attaches one
+  // added leaf: exactly k new edges, nothing removed.
+  Overlay overlay(2 * 4 + 2 * 3 * (4 - 1), 4);  // lattice point, k = 4
+  const auto churn = overlay.add_node();
+  EXPECT_EQ(churn.added.size(), 4u);
+  EXPECT_TRUE(churn.removed.empty());
+}
+
+TEST(Overlay, GrowingAcrossAStrictJdGapViaResize) {
+  // Walk a strict-JD overlay from 8 to 20 nodes, resizing through only
+  // realizable sizes; the overlay must remain 3-connected throughout.
+  Overlay overlay(8, 3, Constraint::kStrictJD);
+  core::NodeId target = 9;
+  while (overlay.size() < 20) {
+    while (!exists(target, 3, Constraint::kStrictJD)) ++target;
+    overlay.resize(target);
+    EXPECT_TRUE(core::is_k_vertex_connected(overlay.graph(), 3))
+        << "n=" << overlay.size();
+    ++target;
+  }
+}
+
+TEST(Overlay, ChurnIsBoundedByBothEdgeSets) {
+  Overlay overlay(40, 4);
+  const auto before_edges = overlay.graph().num_edges();
+  const auto churn = overlay.add_node();
+  const auto after_edges = overlay.graph().num_edges();
+  EXPECT_LE(churn.total(), before_edges + after_edges);
+  // Sanity: added minus removed must equal the edge-count delta.
+  EXPECT_EQ(static_cast<std::int64_t>(churn.added.size()) -
+                static_cast<std::int64_t>(churn.removed.size()),
+            after_edges - before_edges);
+}
+
+}  // namespace
+}  // namespace lhg::membership

@@ -1,0 +1,137 @@
+// Tests for the overlay network model: latency, crashes, link failures.
+
+#include "flooding/network.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace lhg::flooding {
+namespace {
+
+using core::Edge;
+using core::Graph;
+using core::NodeId;
+
+Graph path3() {
+  return Graph::from_edges(3, std::vector<Edge>{{0, 1}, {1, 2}});
+}
+
+struct Delivery {
+  NodeId to;
+  NodeId from;
+  std::int64_t message;
+  double time;
+};
+
+TEST(Network, DeliversAlongLinks) {
+  Simulator sim;
+  core::Rng rng(1);
+  Graph g = path3();
+  Network net(g, sim, LatencySpec::fixed(2.0), rng);
+  std::vector<Delivery> log;
+  net.set_receive_handler([&](NodeId to, NodeId from, std::int64_t msg) {
+    log.push_back({to, from, msg, sim.now()});
+  });
+  EXPECT_TRUE(net.send(0, 1, 42));
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].to, 1);
+  EXPECT_EQ(log[0].from, 0);
+  EXPECT_EQ(log[0].message, 42);
+  EXPECT_DOUBLE_EQ(log[0].time, 2.0);
+  EXPECT_EQ(net.messages_sent(), 1);
+}
+
+TEST(Network, RejectsNonLinkSends) {
+  Simulator sim;
+  core::Rng rng(1);
+  Graph g = path3();
+  Network net(g, sim, LatencySpec::fixed(1.0), rng);
+  EXPECT_THROW(net.send(0, 2, 1), std::invalid_argument);
+}
+
+TEST(Network, CrashedSenderSendsNothing) {
+  Simulator sim;
+  core::Rng rng(1);
+  Graph g = path3();
+  Network net(g, sim, LatencySpec::fixed(1.0), rng);
+  net.crash_now(0);
+  EXPECT_FALSE(net.is_alive(0));
+  EXPECT_EQ(net.alive_count(), 2);
+  EXPECT_FALSE(net.send(0, 1, 7));
+  EXPECT_EQ(net.messages_sent(), 0);
+}
+
+TEST(Network, CrashedReceiverDropsInFlight) {
+  Simulator sim;
+  core::Rng rng(1);
+  Graph g = path3();
+  Network net(g, sim, LatencySpec::fixed(5.0), rng);
+  int received = 0;
+  net.set_receive_handler([&](NodeId, NodeId, std::int64_t) { ++received; });
+  net.send(0, 1, 7);          // arrives at t=5
+  net.crash_at(1, 2.0);       // crashes first
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.messages_sent(), 1);  // the attempt still cost a message
+}
+
+TEST(Network, LinkFailureDropsMessages) {
+  Simulator sim;
+  core::Rng rng(1);
+  Graph g = path3();
+  Network net(g, sim, LatencySpec::fixed(5.0), rng);
+  int received = 0;
+  net.set_receive_handler([&](NodeId, NodeId, std::int64_t) { ++received; });
+  net.send(0, 1, 7);
+  net.fail_link_at(0, 1, 1.0);  // mid-flight cut
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_FALSE(net.link_ok(0, 1));
+  // Sends on a failed link are refused outright.
+  EXPECT_FALSE(net.send(0, 1, 8));
+}
+
+TEST(Network, PerLinkLatencyIsStable) {
+  Simulator sim;
+  core::Rng rng(7);
+  Graph g = path3();
+  Network net(g, sim, LatencySpec::per_link(1.0, 3.0), rng);
+  std::vector<double> times;
+  net.set_receive_handler(
+      [&](NodeId, NodeId, std::int64_t) { times.push_back(sim.now()); });
+  net.send(0, 1, 1);
+  sim.run();
+  const double first = times.at(0);
+  net.send(0, 1, 2);
+  sim.run();
+  EXPECT_DOUBLE_EQ(times.at(1) - first, first);  // same latency again
+  EXPECT_GE(first, 1.0);
+  EXPECT_LE(first, 4.0);
+}
+
+TEST(Network, Validation) {
+  Simulator sim;
+  core::Rng rng(1);
+  Graph g = path3();
+  EXPECT_THROW(Network(g, sim, LatencySpec::fixed(-1.0), rng),
+               std::invalid_argument);
+  Network net(g, sim, LatencySpec::fixed(1.0), rng);
+  EXPECT_THROW(net.crash_now(9), std::invalid_argument);
+  EXPECT_THROW(net.fail_link_now(0, 2), std::invalid_argument);
+}
+
+TEST(Network, DoubleCrashIsIdempotent) {
+  Simulator sim;
+  core::Rng rng(1);
+  Graph g = path3();
+  Network net(g, sim, LatencySpec::fixed(1.0), rng);
+  net.crash_now(1);
+  net.crash_now(1);
+  EXPECT_EQ(net.alive_count(), 2);
+}
+
+}  // namespace
+}  // namespace lhg::flooding

@@ -1,0 +1,150 @@
+// Rule-conformance tests: the planners must respect the letter of each
+// constraint, not merely produce connected graphs.  These inspect the
+// abstract TreePlan directly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "lhg/jd.h"
+#include "lhg/kdiamond.h"
+#include "lhg/ktree.h"
+#include "lhg/lhg.h"
+
+namespace lhg {
+namespace {
+
+/// Children per interior: (interior kids, leaf kids).
+std::map<std::int32_t, std::pair<std::int32_t, std::int32_t>> child_counts(
+    const TreePlan& plan) {
+  std::map<std::int32_t, std::pair<std::int32_t, std::int32_t>> counts;
+  for (std::int32_t i = 0; i < plan.num_interiors(); ++i) counts[i] = {0, 0};
+  for (std::int32_t i = 1; i < plan.num_interiors(); ++i) {
+    ++counts[plan.interior_parent[static_cast<std::size_t>(i)]].first;
+  }
+  for (std::int32_t p : plan.leaf_parent) ++counts[p].second;
+  return counts;
+}
+
+class StrictJdConformance
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StrictJdConformance, RespectsExceptionBudget) {
+  const auto [k, offset] = GetParam();
+  const std::int64_t n = 2 * k + offset;
+  const auto maybe_plan = jd::plan(n, k);
+  if (!maybe_plan.has_value()) {
+    EXPECT_FALSE(jd::exists(n, k));
+    return;
+  }
+  const TreePlan& tree = *maybe_plan;
+  EXPECT_EQ(tree.realized_nodes(), n);
+  // Strict J&D: no unshared leaves, root has >= k children, interiors
+  // have k-1..k+1 children, and at most k interiors exceed k-1.
+  EXPECT_EQ(tree.num_unshared_groups(), 0);
+  std::int32_t exceptions = 0;
+  for (const auto& [interior, kids] : child_counts(tree)) {
+    const auto total = kids.first + kids.second;
+    const auto base = interior == 0 ? k : k - 1;
+    EXPECT_GE(total, base) << "interior " << interior;
+    EXPECT_LE(total, base + jd::kMaxAddedPerException) << "interior " << interior;
+    if (total > base) {
+      ++exceptions;
+      EXPECT_GT(kids.second, 0) << "exception without leaf children";
+    }
+  }
+  EXPECT_LE(exceptions, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StrictJdConformance,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 6),
+                       ::testing::Range(0, 30)));
+
+class KTreeConformance
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KTreeConformance, RespectsRuleThreeD) {
+  const auto [k, offset] = GetParam();
+  const std::int64_t n = 2 * k + offset;
+  const TreePlan tree = ktree::plan(n, k);
+  EXPECT_EQ(tree.realized_nodes(), n);
+  EXPECT_EQ(tree.num_unshared_groups(), 0);
+  for (const auto& [interior, kids] : child_counts(tree)) {
+    const auto base = interior == 0 ? k : k - 1;
+    const auto total = kids.first + kids.second;
+    EXPECT_GE(total, base);
+    // Rule 3d: at most 2k-3 ADDED leaves per node just above the leaves.
+    EXPECT_LE(total - base, ktree::max_added_per_bottom(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KTreeConformance,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 6, 8),
+                       ::testing::Range(0, 30)));
+
+class KDiamondConformance
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KDiamondConformance, RespectsRulesFourAndFiveD) {
+  const auto [k, offset] = GetParam();
+  const std::int64_t n = 2 * k + offset;
+  const TreePlan tree = kdiamond::plan(n, k);
+  EXPECT_EQ(tree.realized_nodes(), n);
+  for (const auto& [interior, kids] : child_counts(tree)) {
+    const auto base = interior == 0 ? k : k - 1;
+    const auto total = kids.first + kids.second;
+    EXPECT_GE(total, base);
+    // Rule 5d: at most k-2 added leaves.
+    EXPECT_LE(total - base, kdiamond::max_added_per_bottom(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KDiamondConformance,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 6, 8),
+                       ::testing::Range(0, 30)));
+
+TEST(PlanIntrospection, PlanMatchesBuild) {
+  // lhg::plan must describe exactly the graph lhg::build realizes.
+  for (const auto constraint :
+       {Constraint::kStrictJD, Constraint::kKTree, Constraint::kKDiamond}) {
+    for (const std::int32_t k : {3, 4}) {
+      for (std::int64_t n = 2 * k; n <= 2 * k + 12; ++n) {
+        if (!exists(n, k, constraint)) continue;
+        const auto tree = plan(n, k, constraint);
+        const auto g = build(static_cast<core::NodeId>(n), k, constraint);
+        EXPECT_EQ(tree.realized_nodes(), g.num_nodes());
+        // Edge count: k(I-1) tree edges per copy + k per shared leaf +
+        // (k + C(k,2)) per unshared group.
+        const std::int64_t expected_edges =
+            static_cast<std::int64_t>(k) * (tree.num_interiors() - 1) +
+            static_cast<std::int64_t>(k) * tree.num_shared_leaves() +
+            tree.num_unshared_groups() *
+                (k + static_cast<std::int64_t>(k) * (k - 1) / 2);
+        EXPECT_EQ(g.num_edges(), expected_edges)
+            << to_string(constraint) << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(PlanIntrospection, StrictJdPrefersLargestTree) {
+  // The planner absorbs slack with the deepest (most regular) tree:
+  // on lattice points there are zero exceptions.
+  for (const std::int32_t k : {3, 5}) {
+    for (std::int64_t alpha = 0; alpha <= 5; ++alpha) {
+      const auto n = 2 * k + 2 * alpha * (k - 1);
+      const auto tree = jd::plan(n, k);
+      ASSERT_TRUE(tree.has_value());
+      EXPECT_EQ(tree->num_interiors(), alpha + 1);
+      EXPECT_EQ(tree->num_leaves(), k + alpha * (k - 2));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lhg

@@ -1,0 +1,145 @@
+// Unit tests for the deterministic RNG.
+
+#include "core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace lhg::core {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_EQ(rng.next_in(5, 5), 5);
+  EXPECT_THROW(rng.next_in(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, NextDoubleUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRoughlyFair) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(std::span<int>(v));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(23);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(std::span<int>(v));
+  int moved = 0;
+  for (int i = 0; i < 100; ++i) moved += v[static_cast<std::size_t>(i)] != i;
+  EXPECT_GT(moved, 50);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(29);
+  const auto sample = rng.sample_without_replacement(1000, 50);
+  EXPECT_EQ(sample.size(), 50u);
+  std::set<std::int32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (auto v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 1000);
+  }
+}
+
+TEST(Rng, SampleWholeUniverse) {
+  Rng rng(31);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::int32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleValidation) {
+  Rng rng(37);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+  EXPECT_THROW(rng.sample_without_replacement(-1, 0), std::invalid_argument);
+  EXPECT_TRUE(rng.sample_without_replacement(5, 0).empty());
+}
+
+TEST(Rng, SplitIsDeterministicAndIndependent) {
+  Rng a(41);
+  Rng child_a = a.split();
+  Rng b(41);
+  Rng child_b = b.split();
+  // Deterministic: two splits from identical parents agree.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child_a(), child_b());
+  // Independent: the child stream does not replay the parent stream.
+  Rng parent(41);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (child() == parent()) ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SparseSamplePath) {
+  Rng rng(43);
+  // universe >> count forces the hash-set rejection path.
+  const auto sample = rng.sample_without_replacement(2000000, 10);
+  std::set<std::int32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+}  // namespace
+}  // namespace lhg::core

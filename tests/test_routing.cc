@@ -1,0 +1,134 @@
+// Tests for structured (local-state) routing over pasted LHGs.
+//
+// The key properties: every route is a real walk along overlay edges,
+// it always terminates at the destination, its length respects the
+// advertised O(log n) bound, and the stretch over BFS shortest paths is
+// small.
+
+#include "lhg/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/bfs.h"
+#include "core/rng.h"
+
+namespace lhg {
+namespace {
+
+using core::NodeId;
+
+void expect_valid_route(const core::Graph& g, const Router& router,
+                        NodeId from, NodeId to) {
+  const auto path = router.route(from, to);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), from);
+  EXPECT_EQ(path.back(), to);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    ASSERT_TRUE(g.has_edge(path[i], path[i + 1]))
+        << "route " << from << "->" << to << " breaks at step " << i << ": "
+        << path[i] << "-" << path[i + 1];
+  }
+  EXPECT_LE(static_cast<std::int32_t>(path.size()) - 1,
+            router.max_route_hops());
+  // Routes must be simple (no node revisited).
+  std::set<NodeId> seen(path.begin(), path.end());
+  EXPECT_EQ(seen.size(), path.size());
+}
+
+TEST(Router, TrivialAndAdjacentRoutes) {
+  auto [g, router] = make_routed_overlay(22, 3);
+  EXPECT_EQ(router.route(5, 5), std::vector<NodeId>{5});
+  // Any edge endpoint pair routes in exactly the nodes on some path.
+  const auto e = g.edges()[0];
+  expect_valid_route(g, router, e.u, e.v);
+}
+
+class RouterExhaustive
+    : public ::testing::TestWithParam<std::tuple<Constraint, int, int>> {};
+
+TEST_P(RouterExhaustive, AllPairsRouteCorrectly) {
+  const auto [constraint, n, k] = GetParam();
+  if (!exists(n, k, constraint)) GTEST_SKIP();
+  auto [g, router] = make_routed_overlay(static_cast<NodeId>(n), k, constraint);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      expect_valid_route(g, router, u, v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallGrids, RouterExhaustive,
+    ::testing::Values(std::tuple{Constraint::kKTree, 22, 3},
+                      std::tuple{Constraint::kKTree, 25, 3},
+                      std::tuple{Constraint::kKDiamond, 14, 3},
+                      std::tuple{Constraint::kKDiamond, 23, 3},
+                      std::tuple{Constraint::kKDiamond, 27, 4},
+                      std::tuple{Constraint::kStrictJD, 38, 4},
+                      std::tuple{Constraint::kKTree, 46, 5},
+                      std::tuple{Constraint::kKTree, 14, 2},
+                      std::tuple{Constraint::kKDiamond, 11, 2}));
+
+TEST(Router, LargeGraphSampledRoutesAndStretch) {
+  auto [g, router] = make_routed_overlay(1024, 4);
+  core::Rng rng(77);
+  double total_stretch = 0;
+  int measured = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto u = static_cast<NodeId>(rng.next_below(1024));
+    const auto v = static_cast<NodeId>(rng.next_below(1024));
+    if (u == v) continue;
+    expect_valid_route(g, router, u, v);
+    const auto hops =
+        static_cast<std::int32_t>(router.route(u, v).size()) - 1;
+    const auto shortest =
+        core::bfs_distances(g, u)[static_cast<std::size_t>(v)];
+    EXPECT_GE(hops, shortest);
+    total_stretch += static_cast<double>(hops) / shortest;
+    ++measured;
+  }
+  ASSERT_GT(measured, 0);
+  // Structured routing should stay within ~2.5x of shortest paths.
+  EXPECT_LE(total_stretch / measured, 2.5);
+}
+
+TEST(Router, RouteLengthIsLogarithmic) {
+  // n doubling must not double the worst sampled route length.
+  std::int32_t previous = 0;
+  for (const NodeId n : {128, 256, 512, 1024, 2048}) {
+    auto [g, router] = make_routed_overlay(n, 4);
+    core::Rng rng(5);
+    std::int32_t worst = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+      const auto u = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+      const auto v = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+      worst = std::max(worst, static_cast<std::int32_t>(
+                                  router.route(u, v).size()) - 1);
+    }
+    if (previous > 0) {
+      EXPECT_LE(worst, previous + 5) << "n=" << n;
+    }
+    previous = std::max(previous, worst);
+  }
+}
+
+TEST(Router, RejectsBadNodes) {
+  auto [g, router] = make_routed_overlay(22, 3);
+  (void)g;
+  EXPECT_THROW(router.route(-1, 3), std::invalid_argument);
+  EXPECT_THROW(router.route(0, 22), std::invalid_argument);
+}
+
+TEST(Router, MismatchedPlanLayoutRejected) {
+  TreePlan tree = plan(22, 3);
+  Layout layout;
+  core::Graph g = build_with_layout(38, 4, Constraint::kKTree, &layout);
+  (void)g;
+  EXPECT_THROW(Router(tree, layout), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lhg

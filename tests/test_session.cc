@@ -1,0 +1,92 @@
+// Tests for multi-message broadcast sessions.
+
+#include "flooding/session.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "flooding/protocols.h"
+#include "lhg/lhg.h"
+
+namespace lhg::flooding {
+namespace {
+
+TEST(Session, SingleBroadcastMatchesFlood) {
+  const auto g = lhg::build(30, 3);
+  const auto session = run_broadcast_session(g, {{.source = 0}});
+  const auto single = flood(g, {.source = 0});
+  ASSERT_EQ(session.messages.size(), 1u);
+  EXPECT_TRUE(session.messages[0].complete);
+  EXPECT_EQ(session.total_messages_sent, single.messages_sent);
+  EXPECT_DOUBLE_EQ(session.messages[0].completion_time,
+                   single.completion_time);
+}
+
+TEST(Session, ConcurrentBroadcastsDoNotInterfere) {
+  // Deterministic floods are independent: M concurrent broadcasts cost
+  // exactly M times one broadcast and each completes in its own
+  // diameter-bounded time.
+  const auto g = lhg::build(46, 3);
+  const auto single = flood(g, {.source = 0});
+  std::vector<BroadcastSpec> specs;
+  for (core::NodeId s = 0; s < 8; ++s) specs.push_back({s, 0.0});
+  const auto session = run_broadcast_session(g, specs);
+  EXPECT_DOUBLE_EQ(session.complete_fraction(), 1.0);
+  EXPECT_EQ(session.total_messages_sent, 8 * single.messages_sent);
+  for (const auto& m : session.messages) {
+    EXPECT_TRUE(m.complete);
+    EXPECT_LE(m.completion_time, single.completion_time + 1e-9 +
+                                     2.0 /* different sources vary */);
+  }
+}
+
+TEST(Session, StaggeredStartsRespectStartTimes) {
+  const auto g = lhg::build(22, 3);
+  const auto session = run_broadcast_session(
+      g, {{.source = 0, .start_time = 0.0}, {.source = 5, .start_time = 7.5}});
+  ASSERT_EQ(session.messages.size(), 2u);
+  EXPECT_GE(session.messages[1].completion_time, 7.5);
+  EXPECT_GE(session.makespan, session.messages[1].completion_time - 1e-9);
+}
+
+TEST(Session, CrashMidSessionAffectsOnlyLaterBroadcasts) {
+  // Crash at t=100, after the first flood finished but before the
+  // second begins: the first must be complete; the second must still
+  // deliver to all remaining alive nodes (k-connectivity margin).
+  const auto g = lhg::build(22, 3);
+  FailurePlan plan;
+  plan.crashes.push_back({3, 100.0});
+  const auto session = run_broadcast_session(
+      g, {{.source = 0, .start_time = 0.0},
+          {.source = 0, .start_time = 200.0}},
+      {}, plan);
+  EXPECT_EQ(session.alive_nodes, 21);
+  EXPECT_TRUE(session.messages[1].complete);
+  EXPECT_EQ(session.messages[1].delivered_alive, 21);
+}
+
+TEST(Session, CrashedSourceProducesIncompleteMessage) {
+  const auto g = lhg::build(22, 3);
+  FailurePlan plan;
+  plan.crashes.push_back({4, 0.0});
+  const auto session = run_broadcast_session(
+      g, {{.source = 4, .start_time = 1.0}}, {}, plan);
+  EXPECT_FALSE(session.messages[0].complete);
+  EXPECT_EQ(session.messages[0].delivered_alive, 0);
+  EXPECT_LT(session.complete_fraction(), 1.0);
+}
+
+TEST(Session, Validation) {
+  const auto g = lhg::build(10, 3);
+  EXPECT_THROW(run_broadcast_session(g, {{.source = 99}}),
+               std::invalid_argument);
+  EXPECT_THROW(run_broadcast_session(g, {{.source = 0, .start_time = -1.0}}),
+               std::invalid_argument);
+  const auto empty = run_broadcast_session(g, {});
+  EXPECT_EQ(empty.total_messages_sent, 0);
+  EXPECT_DOUBLE_EQ(empty.complete_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace lhg::flooding

@@ -1,0 +1,92 @@
+// Tests for the canonical graph families, including the related-work
+// claim that hypercubes are (restricted) LHG instances.
+
+#include "core/special.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/connectivity.h"
+#include "core/diameter.h"
+#include "lhg/verifier.h"
+
+namespace lhg::core {
+namespace {
+
+TEST(Special, PathBasics) {
+  Graph g = path_graph(5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(diameter(g), 4);
+  EXPECT_EQ(path_graph(0).num_nodes(), 0);
+  EXPECT_EQ(path_graph(1).num_edges(), 0);
+}
+
+TEST(Special, CycleBasics) {
+  Graph g = cycle_graph(7);
+  EXPECT_TRUE(g.is_regular(2));
+  EXPECT_EQ(diameter(g), 3);
+  EXPECT_THROW(cycle_graph(2), std::invalid_argument);
+}
+
+TEST(Special, CompleteBasics) {
+  Graph g = complete_graph(6);
+  EXPECT_EQ(g.num_edges(), 15);
+  EXPECT_EQ(vertex_connectivity(g), 5);
+}
+
+TEST(Special, CompleteBipartite) {
+  Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_nodes(), 7);
+  EXPECT_EQ(g.num_edges(), 12);
+  EXPECT_EQ(vertex_connectivity(g), 3);  // min(a, b)
+  EXPECT_FALSE(g.has_edge(0, 1));        // same side
+  EXPECT_TRUE(g.has_edge(0, 3));
+}
+
+TEST(Special, Star) {
+  Graph g = star_graph(6);
+  EXPECT_EQ(g.degree(0), 5);
+  EXPECT_EQ(vertex_connectivity(g), 1);
+  EXPECT_THROW(star_graph(0), std::invalid_argument);
+}
+
+TEST(Special, HypercubeStructure) {
+  Graph g = hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16);
+  EXPECT_TRUE(g.is_regular(4));
+  EXPECT_EQ(diameter(g), 4);  // Hamming distance
+  EXPECT_EQ(vertex_connectivity(g), 4);
+  EXPECT_EQ(edge_connectivity(g), 4);
+  EXPECT_THROW(hypercube(-1), std::invalid_argument);
+  EXPECT_EQ(hypercube(0).num_nodes(), 1);
+}
+
+TEST(Special, HypercubeIsAnLhg) {
+  // The related-work observation: Q_d is a d-connected, link-minimal,
+  // log-diameter graph — an LHG that exists only at n = 2^d.
+  for (const std::int32_t d : {3, 4, 5}) {
+    const auto report = verify(hypercube(d), d, {.minimality_sample = 32});
+    EXPECT_TRUE(report.is_lhg()) << "Q_" << d;
+    EXPECT_TRUE(report.k_regular);
+  }
+}
+
+TEST(Special, PetersenProperties) {
+  Graph g = petersen();
+  EXPECT_TRUE(g.is_regular(3));
+  EXPECT_EQ(diameter(g), 2);
+  EXPECT_EQ(vertex_connectivity(g), 3);
+  // Petersen is also an LHG for k = 3 (Moore-graph density).
+  EXPECT_TRUE(verify(g, 3).is_lhg());
+}
+
+TEST(Special, BinaryTree) {
+  Graph g = binary_tree(15);
+  EXPECT_EQ(g.num_edges(), 14);
+  EXPECT_EQ(vertex_connectivity(g), 1);
+  EXPECT_EQ(diameter(g), 6);  // leaf -> root -> leaf
+}
+
+}  // namespace
+}  // namespace lhg::core

@@ -1,0 +1,148 @@
+// Tests for the abstract tree planner underlying all constructions.
+
+#include "lhg/tree_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+namespace lhg {
+namespace {
+
+TEST(TreePlan, SmallestTree) {
+  // I = 1: root plus k shared leaves; realizes n = 2k.
+  TreePlan plan = base_plan(3, 1);
+  EXPECT_EQ(plan.num_interiors(), 1);
+  EXPECT_EQ(plan.num_leaves(), 3);
+  EXPECT_EQ(plan.num_shared_leaves(), 3);
+  EXPECT_EQ(plan.num_unshared_groups(), 0);
+  EXPECT_EQ(plan.realized_nodes(), 6);
+  EXPECT_EQ(plan.height(), 1);
+  plan.check_invariants(0);
+}
+
+TEST(TreePlan, TwoInteriors) {
+  // I = 2: root (k children: 1 interior + k-1 leaves), interior with
+  // k-1 leaves.  n = 2k + 2(k-1).
+  TreePlan plan = base_plan(3, 2);
+  EXPECT_EQ(plan.num_interiors(), 2);
+  EXPECT_EQ(plan.interior_parent[1], 0);
+  EXPECT_EQ(plan.num_leaves(), 2 + 2);  // (k-1)+(k-1)
+  EXPECT_EQ(plan.realized_nodes(), 10);
+  EXPECT_EQ(plan.height(), 2);
+  plan.check_invariants(0);
+}
+
+TEST(TreePlan, RealizedNodesFormula) {
+  // n0(I) = 2k + 2(I-1)(k-1) for every k, I.
+  for (std::int32_t k = 2; k <= 7; ++k) {
+    for (std::int32_t num_interiors = 1; num_interiors <= 40; ++num_interiors) {
+      TreePlan plan = base_plan(k, num_interiors);
+      EXPECT_EQ(plan.realized_nodes(),
+                2 * k + 2 * static_cast<std::int64_t>(num_interiors - 1) * (k - 1))
+          << "k=" << k << " I=" << num_interiors;
+      plan.check_invariants(0);
+    }
+  }
+}
+
+TEST(TreePlan, BfsParentOrdering) {
+  TreePlan plan = base_plan(4, 10);
+  for (std::int32_t i = 1; i < plan.num_interiors(); ++i) {
+    EXPECT_LT(plan.interior_parent[static_cast<std::size_t>(i)], i);
+  }
+  // Depths are non-decreasing in BFS order.
+  const auto depth = plan.interior_depths();
+  for (std::size_t i = 1; i < depth.size(); ++i) {
+    EXPECT_GE(depth[i], depth[i - 1]);
+  }
+}
+
+TEST(TreePlan, HeightGrowsLogarithmically) {
+  // With k = 4 the interior skeleton is 3-ary: height ~ log3(I).
+  EXPECT_LE(base_plan(4, 121).height(), 6);
+  EXPECT_GE(base_plan(4, 121).height(), 4);
+}
+
+TEST(TreePlan, BottomInteriorsHaveLeafChildren) {
+  TreePlan plan = base_plan(3, 7);
+  const auto bottoms = bottom_interiors(plan);
+  EXPECT_FALSE(bottoms.empty());
+  for (std::int32_t b : bottoms) {
+    bool found = false;
+    for (std::int32_t p : plan.leaf_parent) found |= (p == b);
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(TreePlan, CountBottomInteriorsMatchesPlan) {
+  for (std::int32_t k = 2; k <= 6; ++k) {
+    for (std::int32_t num_interiors = 1; num_interiors <= 60; ++num_interiors) {
+      const auto plan = base_plan(k, num_interiors);
+      EXPECT_EQ(count_bottom_interiors(k, num_interiors),
+                static_cast<std::int32_t>(bottom_interiors(plan).size()))
+          << "k=" << k << " I=" << num_interiors;
+    }
+  }
+}
+
+TEST(TreePlan, AddExtraLeaf) {
+  TreePlan plan = base_plan(3, 2);
+  const auto before = plan.num_leaves();
+  const auto hosts = bottom_interiors(plan);
+  add_extra_leaf(plan, hosts.front());
+  EXPECT_EQ(plan.num_leaves(), before + 1);
+  plan.check_invariants(1);
+  // Rule: extras only below nodes that already host leaves.
+  EXPECT_THROW(add_extra_leaf(plan, 99), std::invalid_argument);
+}
+
+TEST(TreePlan, ExtraLeafOnNonBottomThrows) {
+  // I large enough that the root has no leaf children.
+  TreePlan plan = base_plan(3, 8);
+  const auto bottoms = bottom_interiors(plan);
+  bool root_is_bottom = false;
+  for (auto b : bottoms) root_is_bottom |= (b == 0);
+  ASSERT_FALSE(root_is_bottom);
+  EXPECT_THROW(add_extra_leaf(plan, 0), std::invalid_argument);
+}
+
+TEST(TreePlan, MakeLeafUnshared) {
+  TreePlan plan = base_plan(3, 1);
+  make_leaf_unshared(plan, 0);
+  EXPECT_EQ(plan.num_shared_leaves(), 2);
+  EXPECT_EQ(plan.num_unshared_groups(), 1);
+  EXPECT_EQ(plan.realized_nodes(), 3 + 2 + 3);  // k·I + Ls + k·G
+  EXPECT_THROW(make_leaf_unshared(plan, 0), std::invalid_argument);
+  EXPECT_THROW(make_leaf_unshared(plan, 9), std::invalid_argument);
+}
+
+TEST(TreePlan, InvariantCheckerCatchesViolations) {
+  TreePlan plan = base_plan(3, 3);
+  plan.check_invariants(0);
+  // Too many added leaves for the allowance.
+  const auto hosts = bottom_interiors(plan);
+  add_extra_leaf(plan, hosts.front());
+  EXPECT_THROW(plan.check_invariants(0), std::logic_error);
+  plan.check_invariants(1);
+}
+
+TEST(TreePlan, Validation) {
+  EXPECT_THROW(base_plan(1, 3), std::invalid_argument);
+  EXPECT_THROW(base_plan(3, 0), std::invalid_argument);
+  EXPECT_THROW(count_bottom_interiors(1, 1), std::invalid_argument);
+}
+
+TEST(TreePlan, LeafDepthBalance) {
+  // Across a dense sweep the planner must never produce leaf depths
+  // spanning more than two consecutive levels.
+  for (std::int32_t k = 2; k <= 5; ++k) {
+    for (std::int32_t num_interiors = 1; num_interiors <= 100; ++num_interiors) {
+      base_plan(k, num_interiors).check_invariants(0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lhg

@@ -1,0 +1,73 @@
+// Whitney's inequality κ(G) <= λ(G) <= δ(G) as a randomized property
+// test over the full generator zoo — a cross-cutting consistency check
+// of the connectivity engine on inputs it was not written around.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/connectivity.h"
+#include "core/random_graphs.h"
+#include "core/rng.h"
+#include "core/special.h"
+#include "harary/harary.h"
+#include "lhg/lhg.h"
+
+namespace lhg::core {
+namespace {
+
+void expect_whitney(const Graph& g, const std::string& label) {
+  if (g.num_nodes() < 2) return;
+  const auto kappa = vertex_connectivity(g);
+  const auto lambda = edge_connectivity(g);
+  EXPECT_LE(kappa, lambda) << label;
+  EXPECT_LE(lambda, g.min_degree()) << label;
+}
+
+TEST(Whitney, HoldsOnSpecialFamilies) {
+  expect_whitney(path_graph(9), "path");
+  expect_whitney(cycle_graph(9), "cycle");
+  expect_whitney(complete_graph(7), "complete");
+  expect_whitney(complete_bipartite(3, 5), "bipartite");
+  expect_whitney(star_graph(8), "star");
+  expect_whitney(hypercube(4), "hypercube");
+  expect_whitney(petersen(), "petersen");
+  expect_whitney(binary_tree(10), "binary tree");
+}
+
+class WhitneyRandom : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WhitneyRandom, HoldsOnGnm) {
+  const auto [n, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 101 + 7);
+  for (const std::int64_t m :
+       {static_cast<std::int64_t>(n), 2L * n, 3L * n}) {
+    const auto max_m = static_cast<std::int64_t>(n) * (n - 1) / 2;
+    Graph g = random_gnm(static_cast<NodeId>(n), std::min(m, max_m), rng);
+    expect_whitney(g, "gnm");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WhitneyRandom,
+                         ::testing::Combine(::testing::Values(10, 17, 25, 40),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+TEST(Whitney, EqualityOnConstructedOverlays) {
+  // For LHGs and Harary graphs the chain collapses: κ = λ = δ = k.
+  for (const std::int32_t k : {3, 4, 5}) {
+    const auto n = static_cast<NodeId>(2 * k + 4 * (k - 1));
+    for (const auto constraint :
+         {Constraint::kKTree, Constraint::kKDiamond}) {
+      const auto g = build(n, k, constraint);
+      EXPECT_EQ(vertex_connectivity(g), k);
+      EXPECT_EQ(edge_connectivity(g), k);
+      EXPECT_EQ(g.min_degree(), k);
+    }
+    const auto h = harary::circulant(n, k);
+    EXPECT_EQ(vertex_connectivity(h), k);
+    EXPECT_EQ(edge_connectivity(h), k);
+  }
+}
+
+}  // namespace
+}  // namespace lhg::core
