@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_churn"
+  "../bench/bench_churn.pdb"
+  "CMakeFiles/bench_churn.dir/bench_churn.cc.o"
+  "CMakeFiles/bench_churn.dir/bench_churn.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

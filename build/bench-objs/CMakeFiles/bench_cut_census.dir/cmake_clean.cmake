@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cut_census"
+  "../bench/bench_cut_census.pdb"
+  "CMakeFiles/bench_cut_census.dir/bench_cut_census.cc.o"
+  "CMakeFiles/bench_cut_census.dir/bench_cut_census.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cut_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_disjoint_paths"
+  "../bench/bench_disjoint_paths.pdb"
+  "CMakeFiles/bench_disjoint_paths.dir/bench_disjoint_paths.cc.o"
+  "CMakeFiles/bench_disjoint_paths.dir/bench_disjoint_paths.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disjoint_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

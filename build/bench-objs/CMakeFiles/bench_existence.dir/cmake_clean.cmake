@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_existence"
+  "../bench/bench_existence.pdb"
+  "CMakeFiles/bench_existence.dir/bench_existence.cc.o"
+  "CMakeFiles/bench_existence.dir/bench_existence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_existence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_flood_failures"
+  "../bench/bench_flood_failures.pdb"
+  "CMakeFiles/bench_flood_failures.dir/bench_flood_failures.cc.o"
+  "CMakeFiles/bench_flood_failures.dir/bench_flood_failures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flood_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

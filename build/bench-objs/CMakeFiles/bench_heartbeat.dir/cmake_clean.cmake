@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_heartbeat"
+  "../bench/bench_heartbeat.pdb"
+  "CMakeFiles/bench_heartbeat.dir/bench_heartbeat.cc.o"
+  "CMakeFiles/bench_heartbeat.dir/bench_heartbeat.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heartbeat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

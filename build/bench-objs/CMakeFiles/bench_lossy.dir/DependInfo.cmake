@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_lossy.cc" "bench-objs/CMakeFiles/bench_lossy.dir/bench_lossy.cc.o" "gcc" "bench-objs/CMakeFiles/bench_lossy.dir/bench_lossy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lhg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harary/CMakeFiles/lhg_harary.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhg/CMakeFiles/lhg_lhg.dir/DependInfo.cmake"
+  "/root/repo/build/src/flooding/CMakeFiles/lhg_flooding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

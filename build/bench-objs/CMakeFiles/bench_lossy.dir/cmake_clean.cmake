@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lossy"
+  "../bench/bench_lossy.pdb"
+  "CMakeFiles/bench_lossy.dir/bench_lossy.cc.o"
+  "CMakeFiles/bench_lossy.dir/bench_lossy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lossy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

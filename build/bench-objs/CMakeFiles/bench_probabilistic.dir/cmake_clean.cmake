@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_probabilistic"
+  "../bench/bench_probabilistic.pdb"
+  "CMakeFiles/bench_probabilistic.dir/bench_probabilistic.cc.o"
+  "CMakeFiles/bench_probabilistic.dir/bench_probabilistic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_probabilistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

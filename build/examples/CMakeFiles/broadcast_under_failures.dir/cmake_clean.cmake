@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_under_failures.dir/broadcast_under_failures.cpp.o"
+  "CMakeFiles/broadcast_under_failures.dir/broadcast_under_failures.cpp.o.d"
+  "broadcast_under_failures"
+  "broadcast_under_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_under_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

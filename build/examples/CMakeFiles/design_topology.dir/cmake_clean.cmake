@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_topology.dir/design_topology.cpp.o"
+  "CMakeFiles/design_topology.dir/design_topology.cpp.o.d"
+  "design_topology"
+  "design_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhg_cli.dir/lhg_cli.cpp.o"
+  "CMakeFiles/lhg_cli.dir/lhg_cli.cpp.o.d"
+  "lhg_cli"
+  "lhg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_comparison.dir/overlay_comparison.cpp.o"
+  "CMakeFiles/overlay_comparison.dir/overlay_comparison.cpp.o.d"
+  "overlay_comparison"
+  "overlay_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

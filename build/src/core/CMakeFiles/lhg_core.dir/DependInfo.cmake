@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bfs.cc" "src/core/CMakeFiles/lhg_core.dir/bfs.cc.o" "gcc" "src/core/CMakeFiles/lhg_core.dir/bfs.cc.o.d"
+  "/root/repo/src/core/connectivity.cc" "src/core/CMakeFiles/lhg_core.dir/connectivity.cc.o" "gcc" "src/core/CMakeFiles/lhg_core.dir/connectivity.cc.o.d"
+  "/root/repo/src/core/cut_census.cc" "src/core/CMakeFiles/lhg_core.dir/cut_census.cc.o" "gcc" "src/core/CMakeFiles/lhg_core.dir/cut_census.cc.o.d"
+  "/root/repo/src/core/diameter.cc" "src/core/CMakeFiles/lhg_core.dir/diameter.cc.o" "gcc" "src/core/CMakeFiles/lhg_core.dir/diameter.cc.o.d"
+  "/root/repo/src/core/dijkstra.cc" "src/core/CMakeFiles/lhg_core.dir/dijkstra.cc.o" "gcc" "src/core/CMakeFiles/lhg_core.dir/dijkstra.cc.o.d"
+  "/root/repo/src/core/graph.cc" "src/core/CMakeFiles/lhg_core.dir/graph.cc.o" "gcc" "src/core/CMakeFiles/lhg_core.dir/graph.cc.o.d"
+  "/root/repo/src/core/graph_io.cc" "src/core/CMakeFiles/lhg_core.dir/graph_io.cc.o" "gcc" "src/core/CMakeFiles/lhg_core.dir/graph_io.cc.o.d"
+  "/root/repo/src/core/maxflow.cc" "src/core/CMakeFiles/lhg_core.dir/maxflow.cc.o" "gcc" "src/core/CMakeFiles/lhg_core.dir/maxflow.cc.o.d"
+  "/root/repo/src/core/random_graphs.cc" "src/core/CMakeFiles/lhg_core.dir/random_graphs.cc.o" "gcc" "src/core/CMakeFiles/lhg_core.dir/random_graphs.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/core/CMakeFiles/lhg_core.dir/rng.cc.o" "gcc" "src/core/CMakeFiles/lhg_core.dir/rng.cc.o.d"
+  "/root/repo/src/core/special.cc" "src/core/CMakeFiles/lhg_core.dir/special.cc.o" "gcc" "src/core/CMakeFiles/lhg_core.dir/special.cc.o.d"
+  "/root/repo/src/core/spectral.cc" "src/core/CMakeFiles/lhg_core.dir/spectral.cc.o" "gcc" "src/core/CMakeFiles/lhg_core.dir/spectral.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhg_core.dir/bfs.cc.o"
+  "CMakeFiles/lhg_core.dir/bfs.cc.o.d"
+  "CMakeFiles/lhg_core.dir/connectivity.cc.o"
+  "CMakeFiles/lhg_core.dir/connectivity.cc.o.d"
+  "CMakeFiles/lhg_core.dir/cut_census.cc.o"
+  "CMakeFiles/lhg_core.dir/cut_census.cc.o.d"
+  "CMakeFiles/lhg_core.dir/diameter.cc.o"
+  "CMakeFiles/lhg_core.dir/diameter.cc.o.d"
+  "CMakeFiles/lhg_core.dir/dijkstra.cc.o"
+  "CMakeFiles/lhg_core.dir/dijkstra.cc.o.d"
+  "CMakeFiles/lhg_core.dir/graph.cc.o"
+  "CMakeFiles/lhg_core.dir/graph.cc.o.d"
+  "CMakeFiles/lhg_core.dir/graph_io.cc.o"
+  "CMakeFiles/lhg_core.dir/graph_io.cc.o.d"
+  "CMakeFiles/lhg_core.dir/maxflow.cc.o"
+  "CMakeFiles/lhg_core.dir/maxflow.cc.o.d"
+  "CMakeFiles/lhg_core.dir/random_graphs.cc.o"
+  "CMakeFiles/lhg_core.dir/random_graphs.cc.o.d"
+  "CMakeFiles/lhg_core.dir/rng.cc.o"
+  "CMakeFiles/lhg_core.dir/rng.cc.o.d"
+  "CMakeFiles/lhg_core.dir/special.cc.o"
+  "CMakeFiles/lhg_core.dir/special.cc.o.d"
+  "CMakeFiles/lhg_core.dir/spectral.cc.o"
+  "CMakeFiles/lhg_core.dir/spectral.cc.o.d"
+  "liblhg_core.a"
+  "liblhg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flooding/event_sim.cc" "src/flooding/CMakeFiles/lhg_flooding.dir/event_sim.cc.o" "gcc" "src/flooding/CMakeFiles/lhg_flooding.dir/event_sim.cc.o.d"
+  "/root/repo/src/flooding/failure.cc" "src/flooding/CMakeFiles/lhg_flooding.dir/failure.cc.o" "gcc" "src/flooding/CMakeFiles/lhg_flooding.dir/failure.cc.o.d"
+  "/root/repo/src/flooding/heartbeat.cc" "src/flooding/CMakeFiles/lhg_flooding.dir/heartbeat.cc.o" "gcc" "src/flooding/CMakeFiles/lhg_flooding.dir/heartbeat.cc.o.d"
+  "/root/repo/src/flooding/network.cc" "src/flooding/CMakeFiles/lhg_flooding.dir/network.cc.o" "gcc" "src/flooding/CMakeFiles/lhg_flooding.dir/network.cc.o.d"
+  "/root/repo/src/flooding/protocols.cc" "src/flooding/CMakeFiles/lhg_flooding.dir/protocols.cc.o" "gcc" "src/flooding/CMakeFiles/lhg_flooding.dir/protocols.cc.o.d"
+  "/root/repo/src/flooding/reliable_broadcast.cc" "src/flooding/CMakeFiles/lhg_flooding.dir/reliable_broadcast.cc.o" "gcc" "src/flooding/CMakeFiles/lhg_flooding.dir/reliable_broadcast.cc.o.d"
+  "/root/repo/src/flooding/session.cc" "src/flooding/CMakeFiles/lhg_flooding.dir/session.cc.o" "gcc" "src/flooding/CMakeFiles/lhg_flooding.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lhg_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

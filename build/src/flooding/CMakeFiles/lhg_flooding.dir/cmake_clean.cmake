@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhg_flooding.dir/event_sim.cc.o"
+  "CMakeFiles/lhg_flooding.dir/event_sim.cc.o.d"
+  "CMakeFiles/lhg_flooding.dir/failure.cc.o"
+  "CMakeFiles/lhg_flooding.dir/failure.cc.o.d"
+  "CMakeFiles/lhg_flooding.dir/heartbeat.cc.o"
+  "CMakeFiles/lhg_flooding.dir/heartbeat.cc.o.d"
+  "CMakeFiles/lhg_flooding.dir/network.cc.o"
+  "CMakeFiles/lhg_flooding.dir/network.cc.o.d"
+  "CMakeFiles/lhg_flooding.dir/protocols.cc.o"
+  "CMakeFiles/lhg_flooding.dir/protocols.cc.o.d"
+  "CMakeFiles/lhg_flooding.dir/reliable_broadcast.cc.o"
+  "CMakeFiles/lhg_flooding.dir/reliable_broadcast.cc.o.d"
+  "CMakeFiles/lhg_flooding.dir/session.cc.o"
+  "CMakeFiles/lhg_flooding.dir/session.cc.o.d"
+  "liblhg_flooding.a"
+  "liblhg_flooding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhg_flooding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

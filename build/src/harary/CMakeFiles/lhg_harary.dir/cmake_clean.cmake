@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhg_harary.dir/harary.cc.o"
+  "CMakeFiles/lhg_harary.dir/harary.cc.o.d"
+  "liblhg_harary.a"
+  "liblhg_harary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhg_harary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

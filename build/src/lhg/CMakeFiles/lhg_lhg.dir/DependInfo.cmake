@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lhg/assemble.cc" "src/lhg/CMakeFiles/lhg_lhg.dir/assemble.cc.o" "gcc" "src/lhg/CMakeFiles/lhg_lhg.dir/assemble.cc.o.d"
+  "/root/repo/src/lhg/jd.cc" "src/lhg/CMakeFiles/lhg_lhg.dir/jd.cc.o" "gcc" "src/lhg/CMakeFiles/lhg_lhg.dir/jd.cc.o.d"
+  "/root/repo/src/lhg/kdiamond.cc" "src/lhg/CMakeFiles/lhg_lhg.dir/kdiamond.cc.o" "gcc" "src/lhg/CMakeFiles/lhg_lhg.dir/kdiamond.cc.o.d"
+  "/root/repo/src/lhg/ktree.cc" "src/lhg/CMakeFiles/lhg_lhg.dir/ktree.cc.o" "gcc" "src/lhg/CMakeFiles/lhg_lhg.dir/ktree.cc.o.d"
+  "/root/repo/src/lhg/lhg.cc" "src/lhg/CMakeFiles/lhg_lhg.dir/lhg.cc.o" "gcc" "src/lhg/CMakeFiles/lhg_lhg.dir/lhg.cc.o.d"
+  "/root/repo/src/lhg/plan_io.cc" "src/lhg/CMakeFiles/lhg_lhg.dir/plan_io.cc.o" "gcc" "src/lhg/CMakeFiles/lhg_lhg.dir/plan_io.cc.o.d"
+  "/root/repo/src/lhg/routing.cc" "src/lhg/CMakeFiles/lhg_lhg.dir/routing.cc.o" "gcc" "src/lhg/CMakeFiles/lhg_lhg.dir/routing.cc.o.d"
+  "/root/repo/src/lhg/tree_plan.cc" "src/lhg/CMakeFiles/lhg_lhg.dir/tree_plan.cc.o" "gcc" "src/lhg/CMakeFiles/lhg_lhg.dir/tree_plan.cc.o.d"
+  "/root/repo/src/lhg/verifier.cc" "src/lhg/CMakeFiles/lhg_lhg.dir/verifier.cc.o" "gcc" "src/lhg/CMakeFiles/lhg_lhg.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lhg_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhg_lhg.dir/assemble.cc.o"
+  "CMakeFiles/lhg_lhg.dir/assemble.cc.o.d"
+  "CMakeFiles/lhg_lhg.dir/jd.cc.o"
+  "CMakeFiles/lhg_lhg.dir/jd.cc.o.d"
+  "CMakeFiles/lhg_lhg.dir/kdiamond.cc.o"
+  "CMakeFiles/lhg_lhg.dir/kdiamond.cc.o.d"
+  "CMakeFiles/lhg_lhg.dir/ktree.cc.o"
+  "CMakeFiles/lhg_lhg.dir/ktree.cc.o.d"
+  "CMakeFiles/lhg_lhg.dir/lhg.cc.o"
+  "CMakeFiles/lhg_lhg.dir/lhg.cc.o.d"
+  "CMakeFiles/lhg_lhg.dir/plan_io.cc.o"
+  "CMakeFiles/lhg_lhg.dir/plan_io.cc.o.d"
+  "CMakeFiles/lhg_lhg.dir/routing.cc.o"
+  "CMakeFiles/lhg_lhg.dir/routing.cc.o.d"
+  "CMakeFiles/lhg_lhg.dir/tree_plan.cc.o"
+  "CMakeFiles/lhg_lhg.dir/tree_plan.cc.o.d"
+  "CMakeFiles/lhg_lhg.dir/verifier.cc.o"
+  "CMakeFiles/lhg_lhg.dir/verifier.cc.o.d"
+  "liblhg_lhg.a"
+  "liblhg_lhg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhg_lhg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lhg_lhg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lhg_membership.dir/membership.cc.o"
+  "CMakeFiles/lhg_membership.dir/membership.cc.o.d"
+  "liblhg_membership.a"
+  "liblhg_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lhg_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bfs.cc" "tests/CMakeFiles/lhg_tests.dir/test_bfs.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_bfs.cc.o.d"
+  "/root/repo/tests/test_connectivity.cc" "tests/CMakeFiles/lhg_tests.dir/test_connectivity.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_connectivity.cc.o.d"
+  "/root/repo/tests/test_constructions.cc" "tests/CMakeFiles/lhg_tests.dir/test_constructions.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_constructions.cc.o.d"
+  "/root/repo/tests/test_cut_census.cc" "tests/CMakeFiles/lhg_tests.dir/test_cut_census.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_cut_census.cc.o.d"
+  "/root/repo/tests/test_diameter.cc" "tests/CMakeFiles/lhg_tests.dir/test_diameter.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_diameter.cc.o.d"
+  "/root/repo/tests/test_dijkstra.cc" "tests/CMakeFiles/lhg_tests.dir/test_dijkstra.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_dijkstra.cc.o.d"
+  "/root/repo/tests/test_event_sim.cc" "tests/CMakeFiles/lhg_tests.dir/test_event_sim.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_event_sim.cc.o.d"
+  "/root/repo/tests/test_existence.cc" "tests/CMakeFiles/lhg_tests.dir/test_existence.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_existence.cc.o.d"
+  "/root/repo/tests/test_failure.cc" "tests/CMakeFiles/lhg_tests.dir/test_failure.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_failure.cc.o.d"
+  "/root/repo/tests/test_fault_tolerance.cc" "tests/CMakeFiles/lhg_tests.dir/test_fault_tolerance.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_fault_tolerance.cc.o.d"
+  "/root/repo/tests/test_flood_timing.cc" "tests/CMakeFiles/lhg_tests.dir/test_flood_timing.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_flood_timing.cc.o.d"
+  "/root/repo/tests/test_format.cc" "tests/CMakeFiles/lhg_tests.dir/test_format.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_format.cc.o.d"
+  "/root/repo/tests/test_graph.cc" "tests/CMakeFiles/lhg_tests.dir/test_graph.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_graph.cc.o.d"
+  "/root/repo/tests/test_graph_io.cc" "tests/CMakeFiles/lhg_tests.dir/test_graph_io.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_graph_io.cc.o.d"
+  "/root/repo/tests/test_harary.cc" "tests/CMakeFiles/lhg_tests.dir/test_harary.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_harary.cc.o.d"
+  "/root/repo/tests/test_heartbeat.cc" "tests/CMakeFiles/lhg_tests.dir/test_heartbeat.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_heartbeat.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/lhg_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_k2_boundary.cc" "tests/CMakeFiles/lhg_tests.dir/test_k2_boundary.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_k2_boundary.cc.o.d"
+  "/root/repo/tests/test_layout.cc" "tests/CMakeFiles/lhg_tests.dir/test_layout.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_layout.cc.o.d"
+  "/root/repo/tests/test_lhg_properties.cc" "tests/CMakeFiles/lhg_tests.dir/test_lhg_properties.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_lhg_properties.cc.o.d"
+  "/root/repo/tests/test_maxflow.cc" "tests/CMakeFiles/lhg_tests.dir/test_maxflow.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_maxflow.cc.o.d"
+  "/root/repo/tests/test_membership.cc" "tests/CMakeFiles/lhg_tests.dir/test_membership.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_membership.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/lhg_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_plan_conformance.cc" "tests/CMakeFiles/lhg_tests.dir/test_plan_conformance.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_plan_conformance.cc.o.d"
+  "/root/repo/tests/test_plan_io.cc" "tests/CMakeFiles/lhg_tests.dir/test_plan_io.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_plan_io.cc.o.d"
+  "/root/repo/tests/test_probabilistic_flood.cc" "tests/CMakeFiles/lhg_tests.dir/test_probabilistic_flood.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_probabilistic_flood.cc.o.d"
+  "/root/repo/tests/test_protocols.cc" "tests/CMakeFiles/lhg_tests.dir/test_protocols.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_protocols.cc.o.d"
+  "/root/repo/tests/test_random_graphs.cc" "tests/CMakeFiles/lhg_tests.dir/test_random_graphs.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_random_graphs.cc.o.d"
+  "/root/repo/tests/test_reliable_broadcast.cc" "tests/CMakeFiles/lhg_tests.dir/test_reliable_broadcast.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_reliable_broadcast.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/lhg_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_routing.cc" "tests/CMakeFiles/lhg_tests.dir/test_routing.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_routing.cc.o.d"
+  "/root/repo/tests/test_session.cc" "tests/CMakeFiles/lhg_tests.dir/test_session.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_session.cc.o.d"
+  "/root/repo/tests/test_special.cc" "tests/CMakeFiles/lhg_tests.dir/test_special.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_special.cc.o.d"
+  "/root/repo/tests/test_spectral.cc" "tests/CMakeFiles/lhg_tests.dir/test_spectral.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_spectral.cc.o.d"
+  "/root/repo/tests/test_tree_plan.cc" "tests/CMakeFiles/lhg_tests.dir/test_tree_plan.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_tree_plan.cc.o.d"
+  "/root/repo/tests/test_verifier.cc" "tests/CMakeFiles/lhg_tests.dir/test_verifier.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_verifier.cc.o.d"
+  "/root/repo/tests/test_whitney.cc" "tests/CMakeFiles/lhg_tests.dir/test_whitney.cc.o" "gcc" "tests/CMakeFiles/lhg_tests.dir/test_whitney.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lhg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/harary/CMakeFiles/lhg_harary.dir/DependInfo.cmake"
+  "/root/repo/build/src/lhg/CMakeFiles/lhg_lhg.dir/DependInfo.cmake"
+  "/root/repo/build/src/flooding/CMakeFiles/lhg_flooding.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/lhg_membership.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
