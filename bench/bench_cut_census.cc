@@ -74,9 +74,9 @@ int main() {
     bench::Table table({"size", "lhg_frac", "harary_frac", "rand_frac"}, 14);
     table.print_header();
     for (const std::int32_t size : {3, 5, 8, 12, 20, 30}) {
-      core::Rng a(10 + size);
-      core::Rng b(20 + size);
-      core::Rng c(30 + size);
+      core::Rng a(static_cast<std::uint64_t>(10 + size));
+      core::Rng b(static_cast<std::uint64_t>(20 + size));
+      core::Rng c(static_cast<std::uint64_t>(30 + size));
       table.print_row(
           size,
           fraction(core::sampled_fatal_subsets(lhg_graph, size, kTrials, a)),

@@ -42,7 +42,8 @@ int main() {
           regular_exists(n, k) ? n
                                : n + (2 * (k - 1) - (n - 2 * k) % (2 * (k - 1))));
       const auto g = build(size, k);
-      core::Rng rng(static_cast<std::uint64_t>(size) * k);
+      core::Rng rng(static_cast<std::uint64_t>(size) *
+                    static_cast<std::uint64_t>(k));
       double total_longest = 0;
       std::int32_t worst_longest = 0;
       int measured = 0;

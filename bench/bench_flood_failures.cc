@@ -66,12 +66,14 @@ int main() {
     const auto lhg_graph = build(n, k);
     const auto harary_graph = harary::circulant(n, k);
     for (std::int32_t f = 0; f < k; ++f) {
-      const auto lhg_agg = sweep(lhg_graph, f, kTrials, 1000 + f);
+      const auto lhg_agg =
+          sweep(lhg_graph, f, kTrials, static_cast<std::uint64_t>(1000 + f));
       table.print_row("lhg", k, n, f, lhg_agg.mean_rounds, lhg_agg.max_rounds,
                       lhg_agg.min_delivery, lhg_agg.incomplete);
     }
     for (std::int32_t f = 0; f < k; ++f) {
-      const auto harary_agg = sweep(harary_graph, f, kTrials, 2000 + f);
+      const auto harary_agg = sweep(harary_graph, f, kTrials,
+                                    static_cast<std::uint64_t>(2000 + f));
       table.print_row("harary", k, n, f, harary_agg.mean_rounds,
                       harary_agg.max_rounds, harary_agg.min_delivery,
                       harary_agg.incomplete);

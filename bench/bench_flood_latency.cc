@@ -31,7 +31,8 @@ int main() {
     for (core::NodeId n = 64; n <= 8192; n *= 2) {
       const auto lhg_graph = build(n, k);
       const auto harary_graph = harary::circulant(n, k);
-      core::Rng rng(static_cast<std::uint64_t>(n) * 31 + k);
+      core::Rng rng(static_cast<std::uint64_t>(n) * 31 +
+                    static_cast<std::uint64_t>(k));
       const auto random_graph =
           (static_cast<std::int64_t>(n) * k) % 2 == 0
               ? core::random_regular_connected(n, k, rng)

@@ -51,9 +51,13 @@ int main() {
   bench::Table table({"f", "lhg", "harary", "rand_kreg"}, 12);
   table.print_header();
   for (const std::int32_t f : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32}) {
-    table.print_row(f, survival_probability(lhg_graph, f, kTrials, 10 + f),
-                    survival_probability(harary_graph, f, kTrials, 20 + f),
-                    survival_probability(random_graph, f, kTrials, 30 + f));
+    const auto seed = [f](std::int32_t base) {
+      return static_cast<std::uint64_t>(base + f);
+    };
+    table.print_row(
+        f, survival_probability(lhg_graph, f, kTrials, seed(10)),
+        survival_probability(harary_graph, f, kTrials, seed(20)),
+        survival_probability(random_graph, f, kTrials, seed(30)));
   }
   std::cout << "shape check: all 1.00 for f < k = 4; beyond that "
                "rand_kreg >= lhg >= harary\n";

@@ -32,7 +32,8 @@ int main() {
       for (const NodeId n : {64, 256, 1024, 4096}) {
         if (!exists(n, k, constraint)) continue;
         auto [graph, router] = make_routed_overlay(n, k, constraint);
-        core::Rng rng(static_cast<std::uint64_t>(n) * k);
+        core::Rng rng(static_cast<std::uint64_t>(n) *
+                      static_cast<std::uint64_t>(k));
         double total_stretch = 0;
         double max_stretch = 0;
         std::int32_t worst = 0;

@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
     const auto source = static_cast<core::NodeId>(
         rng.next_below(static_cast<std::uint64_t>(n)));
     // Split the f < k failure budget between crashes and link cuts.
-    const auto budget = static_cast<std::int32_t>(rng.next_below(k));
+    const auto budget = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(k)));
     const auto crash_count = static_cast<std::int32_t>(
         rng.next_below(static_cast<std::uint64_t>(budget) + 1));
     const auto link_count = budget - crash_count;

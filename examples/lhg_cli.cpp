@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/bfs.h"
+#include "core/check.h"
 #include "core/connectivity.h"
 #include "core/diameter.h"
 #include "core/format.h"
@@ -159,6 +160,10 @@ int cmd_exists(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Bad CLI input trips library preconditions; report those as ordinary
+  // "error: ..." messages instead of aborting the process.
+  lhg::core::set_check_failure_handler(
+      &lhg::core::throwing_check_failure_handler);
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Correctness gate: clang-tidy over src/ (when available) followed by
+# the full test suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+# Exits non-zero on any tidy diagnostic-as-error, build failure, test
+# failure, or sanitizer report (-fno-sanitize-recover=all turns every
+# report into a test failure).
+#
+# Usage:  scripts/check.sh [--tidy-only | --sanitize-only]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+run_tidy=1
+run_sanitize=1
+case "${1:-}" in
+  --tidy-only) run_sanitize=0 ;;
+  --sanitize-only) run_tidy=0 ;;
+  "") ;;
+  *)
+    echo "usage: scripts/check.sh [--tidy-only | --sanitize-only]" >&2
+    exit 2
+    ;;
+esac
+
+# --- Stage 1: clang-tidy over src/ -----------------------------------
+if [[ "${run_tidy}" -eq 1 ]]; then
+  if command -v clang-tidy > /dev/null 2>&1; then
+    echo "== clang-tidy gate =="
+    cmake --preset tidy > /dev/null
+    mapfile -t sources < <(find src -name '*.cc' | sort)
+    if command -v run-clang-tidy > /dev/null 2>&1; then
+      run-clang-tidy -quiet -p build-tidy "${sources[@]}"
+    else
+      clang-tidy -quiet -p build-tidy "${sources[@]}"
+    fi
+    echo "clang-tidy: clean"
+  else
+    echo "clang-tidy not found; skipping static-analysis stage." >&2
+  fi
+fi
+
+# --- Stage 2: ASan + UBSan test suite --------------------------------
+if [[ "${run_sanitize}" -eq 1 ]]; then
+  echo "== sanitized test suite (address;undefined) =="
+  cmake --preset asan-ubsan > /dev/null
+  cmake --build --preset asan-ubsan -j "${jobs}"
+  ctest --test-dir build-asan-ubsan -j "${jobs}" --output-on-failure
+fi
+
+echo "check.sh: all stages passed"

@@ -1,25 +1,13 @@
 #include "core/bfs.h"
 
 #include <algorithm>
-#include <stdexcept>
 
-#include "core/format.h"
+#include "core/check.h"
 
 namespace lhg::core {
 
-namespace {
-
-void check_node(const Graph& g, NodeId u) {
-  if (u < 0 || u >= g.num_nodes()) {
-    throw std::invalid_argument(
-        format("node {} out of range for n={}", u, g.num_nodes()));
-  }
-}
-
-}  // namespace
-
 std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId source) {
-  check_node(g, source);
+  LHG_CHECK_RANGE(source, g.num_nodes());
   std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_nodes()),
                                  kUnreachable);
   std::vector<NodeId> frontier{source};
@@ -45,13 +33,11 @@ std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId source) {
 
 std::vector<std::int32_t> bfs_distances_masked(const Graph& g, NodeId source,
                                                const std::vector<bool>& alive) {
-  check_node(g, source);
-  if (static_cast<NodeId>(alive.size()) != g.num_nodes()) {
-    throw std::invalid_argument("alive mask size mismatch");
-  }
-  if (!alive[static_cast<std::size_t>(source)]) {
-    throw std::invalid_argument("bfs_distances_masked: dead source");
-  }
+  LHG_CHECK_RANGE(source, g.num_nodes());
+  LHG_CHECK(static_cast<NodeId>(alive.size()) == g.num_nodes(),
+            "alive mask has {} entries for n={}", alive.size(), g.num_nodes());
+  LHG_CHECK(alive[static_cast<std::size_t>(source)],
+            "bfs_distances_masked: dead source {}", source);
   std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_nodes()),
                                  kUnreachable);
   std::vector<NodeId> frontier{source};
@@ -120,7 +106,7 @@ bool is_connected_after_node_removal(const Graph& g,
   std::vector<bool> alive(static_cast<std::size_t>(g.num_nodes()), true);
   NodeId alive_count = g.num_nodes();
   for (NodeId r : removed_nodes) {
-    check_node(g, r);
+    LHG_CHECK_RANGE(r, g.num_nodes());
     if (alive[static_cast<std::size_t>(r)]) {
       alive[static_cast<std::size_t>(r)] = false;
       --alive_count;

@@ -1,0 +1,57 @@
+#include "core/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lhg::core {
+
+namespace {
+
+std::atomic<CheckFailureHandler> g_handler{&aborting_check_failure_handler};
+
+std::string render_failure(const char* file, int line, const char* condition,
+                           const std::string& message) {
+  std::string out = format("{}:{}: LHG_CHECK({}) failed", file, line, condition);
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace
+
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler) {
+  if (handler == nullptr) handler = &aborting_check_failure_handler;
+  return g_handler.exchange(handler);
+}
+
+void aborting_check_failure_handler(const char* file, int line,
+                                    const char* condition,
+                                    const std::string& message) {
+  const std::string text = render_failure(file, line, condition, message);
+  std::fprintf(stderr, "%s\n", text.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void throwing_check_failure_handler(const char* file, int line,
+                                    const char* condition,
+                                    const std::string& message) {
+  throw ContractViolation(render_failure(file, line, condition, message));
+}
+
+namespace detail {
+
+void check_failed(const char* file, int line, const char* condition,
+                  const std::string& message) {
+  g_handler.load()(file, line, condition, message);
+  // A user handler that returns would let execution continue past a
+  // broken invariant; never allow that.
+  std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace lhg::core

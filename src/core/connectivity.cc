@@ -5,7 +5,7 @@
 #include <unordered_map>
 
 #include "core/bfs.h"
-#include "core/format.h"
+#include "core/check.h"
 #include "core/maxflow.h"
 
 namespace lhg::core {
@@ -13,11 +13,9 @@ namespace lhg::core {
 namespace {
 
 void check_pair(const Graph& g, NodeId s, NodeId t) {
-  if (s < 0 || t < 0 || s >= g.num_nodes() || t >= g.num_nodes()) {
-    throw std::invalid_argument(
-        format("node pair ({}, {}) out of range for n={}", s, t, g.num_nodes()));
-  }
-  if (s == t) throw std::invalid_argument("s == t");
+  LHG_CHECK_RANGE(s, g.num_nodes());
+  LHG_CHECK_RANGE(t, g.num_nodes());
+  LHG_CHECK(s != t, "query pair must be distinct, got s == t == {}", s);
 }
 
 /// Unit-capacity digraph: every undirected edge becomes two opposing arcs.
@@ -87,9 +85,7 @@ std::int32_t local_vertex_connectivity(const Graph& g, NodeId s, NodeId t,
 }
 
 std::int32_t edge_connectivity(const Graph& g, std::int32_t upper_limit) {
-  if (g.num_nodes() == 0) {
-    throw std::invalid_argument("edge connectivity of the empty graph");
-  }
+  LHG_CHECK(g.num_nodes() > 0, "edge connectivity of the empty graph");
   if (g.num_nodes() == 1) return 0;
   if (!is_connected(g)) return 0;
   // λ(G) = min over t != s of λ(s, t) for any fixed s, and λ <= δ(G).
@@ -101,9 +97,7 @@ std::int32_t edge_connectivity(const Graph& g, std::int32_t upper_limit) {
 }
 
 std::int32_t vertex_connectivity(const Graph& g, std::int32_t upper_limit) {
-  if (g.num_nodes() == 0) {
-    throw std::invalid_argument("vertex connectivity of the empty graph");
-  }
+  LHG_CHECK(g.num_nodes() > 0, "vertex connectivity of the empty graph");
   if (g.num_nodes() == 1) return 0;
   if (!is_connected(g)) return 0;
   if (is_complete(g)) return std::min(g.num_nodes() - 1, upper_limit);
@@ -174,9 +168,8 @@ std::optional<std::vector<std::vector<NodeId>>> vertex_disjoint_paths(
     position[static_cast<std::size_t>(s)] = 0;
     while (path.back() != t) {
       auto it = out_flow.find(path.back());
-      if (it == out_flow.end() || it->second.empty()) {
-        throw std::logic_error("flow decomposition: dead end");
-      }
+      LHG_CHECK(it != out_flow.end() && !it->second.empty(),
+                "flow decomposition: dead end at node {}", path.back());
       const NodeId next = it->second.back();
       it->second.pop_back();
       const auto pos = position[static_cast<std::size_t>(next)];
@@ -198,9 +191,7 @@ std::optional<std::vector<std::vector<NodeId>>> vertex_disjoint_paths(
 }
 
 std::optional<std::vector<NodeId>> minimum_vertex_cut(const Graph& g) {
-  if (g.num_nodes() == 0) {
-    throw std::invalid_argument("minimum vertex cut of the empty graph");
-  }
+  LHG_CHECK(g.num_nodes() > 0, "minimum vertex cut of the empty graph");
   if (is_complete(g)) return std::nullopt;
 
   // Find the pair realizing κ (same probe set as vertex_connectivity),
@@ -227,11 +218,9 @@ std::optional<std::vector<NodeId>> minimum_vertex_cut(const Graph& g) {
       if (!g.has_edge(nbrs[i], nbrs[j])) probe(nbrs[i], nbrs[j]);
     }
   }
-  if (best_pair.first < 0) {
-    // Not complete, yet every probed pair was adjacent — cannot happen,
-    // but keep the invariant explicit.
-    throw std::logic_error("minimum_vertex_cut: no non-adjacent pair probed");
-  }
+  // Not complete, so some non-adjacent pair must have been probed.
+  LHG_CHECK(best_pair.first >= 0,
+            "minimum_vertex_cut: no non-adjacent pair probed");
 
   // Recompute the flow with uncuttable edge arcs (the best pair is
   // non-adjacent by construction), so the min cut is split arcs only.

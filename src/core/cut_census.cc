@@ -1,21 +1,18 @@
 #include "core/cut_census.h"
 
-#include <stdexcept>
 #include <vector>
 
 #include "core/bfs.h"
-#include "core/format.h"
+#include "core/check.h"
 
 namespace lhg::core {
 
 namespace {
 
 void check_size(const Graph& g, std::int32_t subset_size) {
-  if (subset_size <= 0 || subset_size >= g.num_nodes()) {
-    throw std::invalid_argument(
-        format("cut census: subset size {} out of range for n={}",
-               subset_size, g.num_nodes()));
-  }
+  LHG_CHECK(subset_size > 0 && subset_size < g.num_nodes(),
+            "cut census: subset size {} out of range for n={}", subset_size,
+            g.num_nodes());
 }
 
 }  // namespace
@@ -57,7 +54,7 @@ CutCensus fatal_node_subsets(const Graph& g, std::int32_t subset_size,
 CutCensus sampled_fatal_subsets(const Graph& g, std::int32_t subset_size,
                                 std::int64_t trials, Rng& rng) {
   check_size(g, subset_size);
-  if (trials < 0) throw std::invalid_argument("cut census: negative trials");
+  LHG_CHECK(trials >= 0, "cut census: negative trials {}", trials);
   CutCensus census;
   for (std::int64_t t = 0; t < trials; ++t) {
     const auto sample =

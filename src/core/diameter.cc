@@ -1,22 +1,19 @@
 #include "core/diameter.h"
 
 #include <algorithm>
-#include <stdexcept>
 #include <vector>
 
 #include "core/bfs.h"
+#include "core/check.h"
 
 namespace lhg::core {
 
 namespace {
 
 void require_connected(const Graph& g) {
-  if (g.num_nodes() == 0) {
-    throw std::invalid_argument("diameter of the empty graph is undefined");
-  }
-  if (!is_connected(g)) {
-    throw std::invalid_argument("diameter of a disconnected graph is undefined");
-  }
+  LHG_CHECK(g.num_nodes() > 0, "diameter of the empty graph is undefined");
+  LHG_CHECK(is_connected(g),
+            "diameter of a disconnected graph is undefined");
 }
 
 /// Max finite value and its argmax in a distance vector.
@@ -80,9 +77,8 @@ std::int32_t diameter(const Graph& g) {
 
 double average_path_length(const Graph& g) {
   require_connected(g);
-  if (g.num_nodes() < 2) {
-    throw std::invalid_argument("average path length needs n >= 2");
-  }
+  LHG_CHECK(g.num_nodes() >= 2, "average path length needs n >= 2, got {}",
+            g.num_nodes());
   long double total = 0;
   for (NodeId s = 0; s < g.num_nodes(); ++s) {
     const auto dist = bfs_distances(g, s);

@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <queue>
-#include <stdexcept>
 
-#include "core/format.h"
+#include "core/check.h"
 
 namespace lhg::core {
 
@@ -17,9 +16,7 @@ struct Search {
 
 Search run_dijkstra(const Graph& g, NodeId source, const EdgeWeightFn& weight,
                     NodeId stop_at) {
-  if (source < 0 || source >= g.num_nodes()) {
-    throw std::invalid_argument(format("dijkstra: bad source {}", source));
-  }
+  LHG_CHECK_RANGE(source, g.num_nodes());
   Search search;
   search.dist.assign(static_cast<std::size_t>(g.num_nodes()),
                      kInfiniteDistance);
@@ -35,10 +32,7 @@ Search run_dijkstra(const Graph& g, NodeId source, const EdgeWeightFn& weight,
     if (u == stop_at) break;
     for (NodeId v : g.neighbors(u)) {
       const double w = weight(u, v);
-      if (w < 0) {
-        throw std::invalid_argument(
-            format("dijkstra: negative weight on ({}, {})", u, v));
-      }
+      LHG_CHECK(w >= 0, "dijkstra: negative weight {} on ({}, {})", w, u, v);
       if (d + w < search.dist[static_cast<std::size_t>(v)]) {
         search.dist[static_cast<std::size_t>(v)] = d + w;
         search.parent[static_cast<std::size_t>(v)] = u;
@@ -58,9 +52,7 @@ std::vector<double> dijkstra_distances(const Graph& g, NodeId source,
 
 std::vector<NodeId> dijkstra_path(const Graph& g, NodeId source, NodeId target,
                                   const EdgeWeightFn& weight) {
-  if (target < 0 || target >= g.num_nodes()) {
-    throw std::invalid_argument(format("dijkstra: bad target {}", target));
-  }
+  LHG_CHECK_RANGE(target, g.num_nodes());
   const auto search = run_dijkstra(g, source, weight, target);
   if (search.dist[static_cast<std::size_t>(target)] == kInfiniteDistance) {
     return {};

@@ -1,7 +1,6 @@
 #include "core/graph.h"
 
 #include <algorithm>
-#include <stdexcept>
 
 #include "core/format.h"
 
@@ -10,19 +9,15 @@ namespace lhg::core {
 namespace {
 
 void validate_edge(NodeId num_nodes, Edge e) {
-  if (e.u < 0 || e.v < 0 || e.u >= num_nodes || e.v >= num_nodes) {
-    throw std::invalid_argument(
-        format("edge ({}, {}) out of range for n={}", e.u, e.v, num_nodes));
-  }
-  if (e.u == e.v) {
-    throw std::invalid_argument(format("self-loop at node {}", e.u));
-  }
+  LHG_CHECK(e.u >= 0 && e.v >= 0 && e.u < num_nodes && e.v < num_nodes,
+            "edge ({}, {}) out of range for n={}", e.u, e.v, num_nodes);
+  LHG_CHECK(e.u != e.v, "self-loop at node {}", e.u);
 }
 
 }  // namespace
 
 Graph Graph::from_edges(NodeId num_nodes, std::span<const Edge> edges) {
-  if (num_nodes < 0) throw std::invalid_argument("negative node count");
+  LHG_CHECK(num_nodes >= 0, "negative node count {}", num_nodes);
   Graph g;
   g.edges_.reserve(edges.size());
   for (Edge e : edges) {
@@ -55,6 +50,11 @@ Graph Graph::from_edges(NodeId num_nodes, std::span<const Edge> edges) {
     auto* hi = g.adjacency_.data() + g.offsets_[static_cast<std::size_t>(u) + 1];
     std::sort(lo, hi);
   }
+  // CSR well-formedness: the final offset must account for both
+  // endpoints of every edge.
+  LHG_DCHECK(static_cast<std::size_t>(g.offsets_.back()) == 2 * g.edges_.size(),
+             "CSR offsets end at {} but expected {}", g.offsets_.back(),
+             2 * g.edges_.size());
   return g;
 }
 
@@ -79,9 +79,7 @@ std::int32_t Graph::max_degree() const {
 }
 
 Graph Graph::without_edge(NodeId u, NodeId v) const {
-  if (!has_edge(u, v)) {
-    throw std::invalid_argument(format("edge ({}, {}) not present", u, v));
-  }
+  LHG_CHECK(has_edge(u, v), "edge ({}, {}) not present", u, v);
   const Edge target = canonical(u, v);
   std::vector<Edge> rest;
   rest.reserve(edges_.size() - 1);
@@ -95,9 +93,7 @@ Graph Graph::induced_without(std::span<const NodeId> removed,
                              std::vector<NodeId>* mapping) const {
   std::vector<bool> gone(static_cast<std::size_t>(num_nodes()), false);
   for (NodeId r : removed) {
-    if (r < 0 || r >= num_nodes()) {
-      throw std::invalid_argument(format("removed node {} out of range", r));
-    }
+    LHG_CHECK_RANGE(r, num_nodes());
     gone[static_cast<std::size_t>(r)] = true;
   }
   std::vector<NodeId> relabel(static_cast<std::size_t>(num_nodes()), -1);
@@ -117,20 +113,18 @@ Graph Graph::induced_without(std::span<const NodeId> removed,
 }
 
 GraphBuilder::GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {
-  if (num_nodes < 0) throw std::invalid_argument("negative node count");
+  LHG_CHECK(num_nodes >= 0, "negative node count {}", num_nodes);
 }
 
 void GraphBuilder::check_endpoint(NodeId x) const {
-  if (x < 0 || x >= num_nodes_) {
-    throw std::invalid_argument(
-        format("node {} out of range for n={}", x, num_nodes_));
-  }
+  LHG_CHECK(x >= 0 && x < num_nodes_, "node {} out of range for n={}", x,
+            num_nodes_);
 }
 
 bool GraphBuilder::add_edge(NodeId u, NodeId v) {
   check_endpoint(u);
   check_endpoint(v);
-  if (u == v) throw std::invalid_argument(format("self-loop at node {}", u));
+  LHG_CHECK(u != v, "self-loop at node {}", u);
   if (!seen_.insert(edge_key(u, v)).second) return false;
   edges_.push_back(canonical(u, v));
   return true;

@@ -18,6 +18,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/check.h"
+
 namespace lhg::core {
 
 /// Node identifier: dense indices in [0, num_nodes()).
@@ -51,7 +53,8 @@ class Graph {
 
   /// Builds a graph with `num_nodes` nodes from an arbitrary edge list.
   /// Edges are normalized, deduplicated, and validated (endpoints in
-  /// range, no self-loops).  Throws std::invalid_argument on bad input.
+  /// range, no self-loops).  Bad input fails an LHG_CHECK contract
+  /// (fatal by default; throwing under a test failure handler).
   static Graph from_edges(NodeId num_nodes, std::span<const Edge> edges);
 
   /// Number of nodes n.
@@ -62,15 +65,16 @@ class Graph {
 
   /// Sorted neighbors of `u`.
   std::span<const NodeId> neighbors(NodeId u) const {
-    const auto lo = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(u)]);
-    const auto hi = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(u) + 1]);
+    LHG_DCHECK_RANGE(u, num_nodes());
+    const auto lo = static_cast<std::size_t>(offsets_[as_index(u)]);
+    const auto hi = static_cast<std::size_t>(offsets_[as_index(u) + 1]);
     return {adjacency_.data() + lo, hi - lo};
   }
 
   /// Degree of `u`.
   std::int32_t degree(NodeId u) const {
-    return offsets_[static_cast<std::size_t>(u) + 1] -
-           offsets_[static_cast<std::size_t>(u)];
+    LHG_DCHECK_RANGE(u, num_nodes());
+    return offsets_[as_index(u) + 1] - offsets_[as_index(u)];
   }
 
   /// True iff the edge {u,v} is present.  O(log deg(u)).
@@ -116,11 +120,13 @@ class Graph {
 /// Not thread-safe.
 class GraphBuilder {
  public:
-  /// Prepares a builder for `num_nodes` nodes.  Throws if negative.
+  /// Prepares a builder for `num_nodes` nodes.  Negative counts fail a
+  /// contract.
   explicit GraphBuilder(NodeId num_nodes);
 
-  /// Adds the undirected edge {u,v}.  Self-loops throw; duplicate
-  /// insertions are idempotent.  Returns true if the edge was new.
+  /// Adds the undirected edge {u,v}.  Self-loops and out-of-range
+  /// endpoints fail a contract; duplicate insertions are idempotent.
+  /// Returns true if the edge was new.
   bool add_edge(NodeId u, NodeId v);
 
   /// True iff {u,v} has been added.

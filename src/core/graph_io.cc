@@ -3,10 +3,9 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
 #include <vector>
 
-#include "core/format.h"
+#include "core/check.h"
 
 namespace lhg::core {
 
@@ -39,28 +38,21 @@ Graph read_edge_list(std::istream& in) {
     }
     return false;
   };
-  if (!next_data_line(line)) {
-    throw std::invalid_argument("edge list: missing header");
-  }
+  LHG_CHECK(next_data_line(line), "edge list: missing header");
   std::istringstream header(line);
   std::int64_t n = -1;
   std::int64_t m = -1;
-  if (!(header >> n >> m) || n < 0 || m < 0) {
-    throw std::invalid_argument("edge list: malformed header '" + line + "'");
-  }
+  LHG_CHECK((header >> n >> m) && n >= 0 && m >= 0,
+            "edge list: malformed header '{}'", line);
   std::vector<Edge> edges;
   edges.reserve(static_cast<std::size_t>(m));
   for (std::int64_t i = 0; i < m; ++i) {
-    if (!next_data_line(line)) {
-      throw std::invalid_argument(
-          format("edge list: expected {} edges, got {}", m, i));
-    }
+    LHG_CHECK(next_data_line(line), "edge list: expected {} edges, got {}",
+              m, i);
     std::istringstream row(line);
     std::int64_t u = -1;
     std::int64_t v = -1;
-    if (!(row >> u >> v)) {
-      throw std::invalid_argument("edge list: malformed edge '" + line + "'");
-    }
+    LHG_CHECK((row >> u >> v), "edge list: malformed edge '{}'", line);
     edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
   }
   return Graph::from_edges(static_cast<NodeId>(n), edges);

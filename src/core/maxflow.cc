@@ -2,23 +2,22 @@
 
 #include <algorithm>
 #include <deque>
-#include <stdexcept>
 
-#include "core/format.h"
+#include "core/check.h"
 
 namespace lhg::core {
 
 FlowNetwork::FlowNetwork(std::int32_t num_vertices) {
-  if (num_vertices < 0) throw std::invalid_argument("negative vertex count");
+  LHG_CHECK(num_vertices >= 0, "negative vertex count {}", num_vertices);
   head_.resize(static_cast<std::size_t>(num_vertices));
 }
 
 std::int32_t FlowNetwork::add_arc(std::int32_t u, std::int32_t v,
                                   std::int64_t capacity) {
-  if (u < 0 || v < 0 || u >= num_vertices() || v >= num_vertices()) {
-    throw std::invalid_argument(format("arc ({}, {}) out of range", u, v));
-  }
-  if (capacity < 0) throw std::invalid_argument("negative capacity");
+  LHG_CHECK(u >= 0 && v >= 0 && u < num_vertices() && v < num_vertices(),
+            "arc ({}, {}) out of range for {} vertices", u, v, num_vertices());
+  LHG_CHECK(capacity >= 0, "negative capacity {} on arc ({}, {})", capacity, u,
+            v);
   auto& fwd_list = head_[static_cast<std::size_t>(u)];
   auto& rev_list = head_[static_cast<std::size_t>(v)];
   const auto fwd_slot = static_cast<std::int32_t>(fwd_list.size());
@@ -73,11 +72,9 @@ std::int64_t FlowNetwork::push(std::int32_t u, std::int32_t sink,
 
 std::int64_t FlowNetwork::max_flow(std::int32_t source, std::int32_t sink,
                                    std::int64_t limit) {
-  if (source < 0 || sink < 0 || source >= num_vertices() ||
-      sink >= num_vertices()) {
-    throw std::invalid_argument("max_flow: endpoint out of range");
-  }
-  if (source == sink) throw std::invalid_argument("max_flow: source == sink");
+  LHG_CHECK_RANGE(source, num_vertices());
+  LHG_CHECK_RANGE(sink, num_vertices());
+  LHG_CHECK(source != sink, "max_flow: source == sink == {}", source);
   std::int64_t total = 0;
   while (total < limit && build_levels(source, sink)) {
     iter_.assign(head_.size(), 0);
@@ -91,10 +88,7 @@ std::int64_t FlowNetwork::max_flow(std::int32_t source, std::int32_t sink,
 }
 
 std::int64_t FlowNetwork::flow_on(std::int32_t arc_index) const {
-  if (arc_index < 0 ||
-      arc_index >= static_cast<std::int32_t>(arc_index_.size())) {
-    throw std::invalid_argument("flow_on: bad arc index");
-  }
+  LHG_CHECK_RANGE(arc_index, arc_index_.size());
   const auto [u, slot] = arc_index_[static_cast<std::size_t>(arc_index)];
   const Arc& a = head_[static_cast<std::size_t>(u)][static_cast<std::size_t>(slot)];
   return a.original - a.capacity;

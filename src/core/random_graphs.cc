@@ -4,18 +4,16 @@
 #include <unordered_set>
 
 #include "core/bfs.h"
-#include "core/format.h"
+#include "core/check.h"
 
 namespace lhg::core {
 
 Graph random_gnm(NodeId num_nodes, std::int64_t num_edges, Rng& rng) {
-  if (num_nodes < 0) throw std::invalid_argument("negative node count");
+  LHG_CHECK(num_nodes >= 0, "negative node count {}", num_nodes);
   const std::int64_t max_edges =
       static_cast<std::int64_t>(num_nodes) * (num_nodes - 1) / 2;
-  if (num_edges < 0 || num_edges > max_edges) {
-    throw std::invalid_argument(
-        format("G(n,m): m={} out of range for n={}", num_edges, num_nodes));
-  }
+  LHG_CHECK(num_edges >= 0 && num_edges <= max_edges,
+            "G(n,m): m={} out of range for n={}", num_edges, num_nodes);
   GraphBuilder builder(num_nodes);
   while (builder.num_edges() < num_edges) {
     const auto u = static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(num_nodes)));
@@ -26,13 +24,10 @@ Graph random_gnm(NodeId num_nodes, std::int64_t num_edges, Rng& rng) {
 }
 
 Graph random_regular(NodeId num_nodes, std::int32_t k, Rng& rng) {
-  if (k < 0 || num_nodes <= k) {
-    throw std::invalid_argument(
-        format("random_regular: need n > k >= 0, got n={}, k={}", num_nodes, k));
-  }
-  if ((static_cast<std::int64_t>(num_nodes) * k) % 2 != 0) {
-    throw std::invalid_argument("random_regular: n*k must be even");
-  }
+  LHG_CHECK(k >= 0 && num_nodes > k,
+            "random_regular: need n > k >= 0, got n={}, k={}", num_nodes, k);
+  LHG_CHECK((static_cast<std::int64_t>(num_nodes) * k) % 2 == 0,
+            "random_regular: n*k must be even, got n={}, k={}", num_nodes, k);
   if (k == 0) return Graph::from_edges(num_nodes, {});
 
   // Pairing model: k stubs per node, shuffle, pair consecutively, then

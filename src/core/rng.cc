@@ -1,12 +1,13 @@
 #include "core/rng.h"
 
-#include <stdexcept>
 #include <unordered_set>
+
+#include "core/check.h"
 
 namespace lhg::core {
 
 std::uint64_t Rng::next_below(std::uint64_t bound) {
-  if (bound == 0) throw std::invalid_argument("Rng::next_below: bound == 0");
+  LHG_CHECK(bound != 0, "Rng::next_below: bound == 0");
   // Lemire's nearly-divisionless method.
   std::uint64_t x = (*this)();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -23,7 +24,7 @@ std::uint64_t Rng::next_below(std::uint64_t bound) {
 }
 
 std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
-  if (lo > hi) throw std::invalid_argument("Rng::next_in: lo > hi");
+  LHG_CHECK(lo <= hi, "Rng::next_in: lo {} > hi {}", lo, hi);
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
   // span == 0 means the full 64-bit range; just return a raw draw.
   if (span == 0) return static_cast<std::int64_t>((*this)());
@@ -32,9 +33,9 @@ std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
 
 std::vector<std::int32_t> Rng::sample_without_replacement(
     std::int32_t universe, std::int32_t count) {
-  if (count < 0 || universe < 0 || count > universe) {
-    throw std::invalid_argument("Rng::sample_without_replacement: bad args");
-  }
+  LHG_CHECK(count >= 0 && universe >= 0 && count <= universe,
+            "Rng::sample_without_replacement: bad args (universe={}, count={})",
+            universe, count);
   std::vector<std::int32_t> out;
   out.reserve(static_cast<std::size_t>(count));
   // Dense case: partial Fisher–Yates over the whole universe.

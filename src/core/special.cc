@@ -1,9 +1,8 @@
 #include "core/special.h"
 
-#include <stdexcept>
 #include <vector>
 
-#include "core/format.h"
+#include "core/check.h"
 
 namespace lhg::core {
 
@@ -14,7 +13,7 @@ Graph path_graph(NodeId n) {
 }
 
 Graph cycle_graph(NodeId n) {
-  if (n < 3) throw std::invalid_argument(format("cycle needs n >= 3, got {}", n));
+  LHG_CHECK(n >= 3, "cycle needs n >= 3, got {}", n);
   GraphBuilder builder(n);
   for (NodeId i = 0; i < n; ++i) {
     builder.add_edge(i, static_cast<NodeId>((i + 1) % n));
@@ -31,7 +30,7 @@ Graph complete_graph(NodeId n) {
 }
 
 Graph complete_bipartite(NodeId a, NodeId b) {
-  if (a < 0 || b < 0) throw std::invalid_argument("negative partition size");
+  LHG_CHECK(a >= 0 && b >= 0, "negative partition size ({}, {})", a, b);
   GraphBuilder builder(a + b);
   for (NodeId i = 0; i < a; ++i) {
     for (NodeId j = 0; j < b; ++j) {
@@ -42,16 +41,14 @@ Graph complete_bipartite(NodeId a, NodeId b) {
 }
 
 Graph star_graph(NodeId n) {
-  if (n < 1) throw std::invalid_argument("star needs n >= 1");
+  LHG_CHECK(n >= 1, "star needs n >= 1, got {}", n);
   GraphBuilder builder(n);
   for (NodeId i = 1; i < n; ++i) builder.add_edge(0, i);
   return builder.build();
 }
 
 Graph hypercube(std::int32_t d) {
-  if (d < 0 || d > 20) {
-    throw std::invalid_argument(format("hypercube dimension {} out of range", d));
-  }
+  LHG_CHECK(d >= 0 && d <= 20, "hypercube dimension {} out of range", d);
   const auto n = static_cast<NodeId>(1) << d;
   GraphBuilder builder(n);
   for (NodeId u = 0; u < n; ++u) {

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <stdexcept>
 #include <vector>
 
 #include "core/bfs.h"
+#include "core/check.h"
 
 namespace lhg::core {
 
@@ -18,12 +18,8 @@ struct PowerIteration {
 };
 
 void check_graph(const Graph& g) {
-  if (g.num_nodes() == 0) {
-    throw std::invalid_argument("spectral: empty graph");
-  }
-  if (g.min_degree() < 1) {
-    throw std::invalid_argument("spectral: isolated vertex");
-  }
+  LHG_CHECK(g.num_nodes() > 0, "spectral: empty graph");
+  LHG_CHECK(g.min_degree() >= 1, "spectral: isolated vertex");
 }
 
 PowerIteration run_power_iteration(const Graph& g,
@@ -105,9 +101,8 @@ SpectralEstimate lazy_walk_lambda2(const Graph& g, std::int32_t max_iterations,
 
 double sweep_conductance(const Graph& g, std::uint64_t seed) {
   check_graph(g);
-  if (g.num_nodes() < 2) {
-    throw std::invalid_argument("sweep_conductance: need n >= 2");
-  }
+  LHG_CHECK(g.num_nodes() >= 2, "sweep_conductance: need n >= 2, got {}",
+            g.num_nodes());
   const auto power = run_power_iteration(g, 5000, 1e-10, seed);
   const auto n = static_cast<std::size_t>(g.num_nodes());
 

@@ -1,15 +1,16 @@
 #include "flooding/event_sim.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "core/check.h"
 
 namespace lhg::flooding {
 
 void Simulator::schedule_at(double time, Callback cb) {
-  if (std::isnan(time) || time < now_) {
-    throw std::invalid_argument("Simulator::schedule_at: time in the past");
-  }
-  if (!cb) throw std::invalid_argument("Simulator::schedule_at: empty callback");
+  LHG_CHECK(!std::isnan(time) && time >= now_,
+            "Simulator::schedule_at: time {} is NaN or before now {}", time,
+            now_);
+  LHG_CHECK(static_cast<bool>(cb), "Simulator::schedule_at: empty callback");
   queue_.push({time, next_seq_++, std::move(cb)});
 }
 

@@ -1,10 +1,9 @@
 #include "flooding/failure.h"
 
 #include <algorithm>
-#include <stdexcept>
 
+#include "core/check.h"
 #include "core/connectivity.h"
-#include "core/format.h"
 
 namespace lhg::flooding {
 
@@ -12,10 +11,9 @@ using core::NodeId;
 
 FailurePlan random_crashes(const core::Graph& g, std::int32_t count,
                            NodeId protect, core::Rng& rng) {
-  if (count < 0 || count > g.num_nodes() - 1) {
-    throw std::invalid_argument(
-        core::format("random_crashes: count {} out of range", count));
-  }
+  LHG_CHECK(count >= 0 && count <= g.num_nodes() - 1,
+            "random_crashes: count {} out of range for n={}", count,
+            g.num_nodes());
   FailurePlan plan;
   // Sample from n-1 slots (all ids except `protect`), then shift.
   const auto picks = rng.sample_without_replacement(g.num_nodes() - 1, count);
@@ -27,10 +25,9 @@ FailurePlan random_crashes(const core::Graph& g, std::int32_t count,
 
 FailurePlan targeted_crashes(const core::Graph& g, std::int32_t count,
                              NodeId protect) {
-  if (count < 0 || count > g.num_nodes() - 1) {
-    throw std::invalid_argument(
-        core::format("targeted_crashes: count {} out of range", count));
-  }
+  LHG_CHECK(count >= 0 && count <= g.num_nodes() - 1,
+            "targeted_crashes: count {} out of range for n={}", count,
+            g.num_nodes());
   std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes()));
   for (NodeId u = 0; u < g.num_nodes(); ++u) order[static_cast<std::size_t>(u)] = u;
   std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
@@ -47,10 +44,9 @@ FailurePlan targeted_crashes(const core::Graph& g, std::int32_t count,
 
 FailurePlan cut_targeted_crashes(const core::Graph& g, std::int32_t count,
                                  NodeId protect, core::Rng& rng) {
-  if (count < 0 || count > g.num_nodes() - 1) {
-    throw std::invalid_argument(
-        core::format("cut_targeted_crashes: count {} out of range", count));
-  }
+  LHG_CHECK(count >= 0 && count <= g.num_nodes() - 1,
+            "cut_targeted_crashes: count {} out of range for n={}", count,
+            g.num_nodes());
   FailurePlan plan;
   std::vector<bool> chosen(static_cast<std::size_t>(g.num_nodes()), false);
   chosen[static_cast<std::size_t>(protect)] = true;  // never crash source
@@ -78,10 +74,9 @@ FailurePlan cut_targeted_crashes(const core::Graph& g, std::int32_t count,
 FailurePlan random_link_failures(const core::Graph& g, std::int32_t count,
                                  core::Rng& rng) {
   const auto edges = g.edges();
-  if (count < 0 || count > static_cast<std::int32_t>(edges.size())) {
-    throw std::invalid_argument(
-        core::format("random_link_failures: count {} out of range", count));
-  }
+  LHG_CHECK(count >= 0 && count <= static_cast<std::int32_t>(edges.size()),
+            "random_link_failures: count {} out of range for m={}", count,
+            edges.size());
   FailurePlan plan;
   const auto picks = rng.sample_without_replacement(
       static_cast<std::int32_t>(edges.size()), count);

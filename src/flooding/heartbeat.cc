@@ -1,9 +1,8 @@
 #include "flooding/heartbeat.h"
 
-#include <stdexcept>
 #include <unordered_map>
 
-#include "core/format.h"
+#include "core/check.h"
 #include "core/rng.h"
 
 namespace lhg::flooding {
@@ -23,10 +22,10 @@ constexpr std::uint64_t pair_key(NodeId observer, NodeId target) {
 HeartbeatResult run_heartbeat(const core::Graph& topology,
                               const HeartbeatConfig& cfg,
                               const FailurePlan& failures) {
-  if (cfg.interval <= 0 || cfg.timeout <= cfg.interval || cfg.horizon <= 0) {
-    throw std::invalid_argument(
-        "heartbeat: need 0 < interval < timeout and horizon > 0");
-  }
+  LHG_CHECK(cfg.interval > 0 && cfg.timeout > cfg.interval && cfg.horizon > 0,
+            "heartbeat: need 0 < interval < timeout and horizon > 0, got "
+            "interval={}, timeout={}, horizon={}",
+            cfg.interval, cfg.timeout, cfg.horizon);
 
   Simulator sim;
   core::Rng rng(cfg.seed);

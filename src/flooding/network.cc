@@ -1,8 +1,6 @@
 #include "flooding/network.h"
 
-#include <stdexcept>
-
-#include "core/format.h"
+#include "core/check.h"
 
 namespace lhg::flooding {
 
@@ -17,18 +15,16 @@ Network::Network(const core::Graph& topology, Simulator& sim,
       loss_probability_(loss_probability),
       crashed_(static_cast<std::size_t>(topology.num_nodes()), false),
       alive_count_(topology.num_nodes()) {
-  if (latency.base < 0 || latency.jitter < 0) {
-    throw std::invalid_argument("Network: negative latency");
-  }
-  if (loss_probability < 0.0 || loss_probability >= 1.0) {
-    throw std::invalid_argument("Network: loss probability must be in [0, 1)");
-  }
+  LHG_CHECK(latency.base >= 0 && latency.jitter >= 0,
+            "Network: negative latency (base={}, jitter={})", latency.base,
+            latency.jitter);
+  LHG_CHECK(loss_probability >= 0.0 && loss_probability < 1.0,
+            "Network: loss probability {} must be in [0, 1)",
+            loss_probability);
 }
 
 void Network::crash_now(NodeId node) {
-  if (node < 0 || node >= topology_->num_nodes()) {
-    throw std::invalid_argument(core::format("crash: bad node {}", node));
-  }
+  LHG_CHECK_RANGE(node, topology_->num_nodes());
   if (!crashed_[static_cast<std::size_t>(node)]) {
     crashed_[static_cast<std::size_t>(node)] = true;
     --alive_count_;
@@ -40,10 +36,7 @@ void Network::crash_at(NodeId node, double at) {
 }
 
 void Network::fail_link_now(NodeId u, NodeId v) {
-  if (!topology_->has_edge(u, v)) {
-    throw std::invalid_argument(
-        core::format("fail_link: ({}, {}) not a link", u, v));
-  }
+  LHG_CHECK(topology_->has_edge(u, v), "fail_link: ({}, {}) not a link", u, v);
   link_failed_at_.emplace(core::edge_key(u, v), sim_->now());
 }
 
@@ -73,14 +66,13 @@ double Network::sample_latency(NodeId u, NodeId v) {
     case LatencySpec::Kind::kUniformPerSend:
       return latency_.base + latency_.jitter * rng_->next_double();
   }
-  throw std::logic_error("Network: unknown latency kind");
+  LHG_CHECK(false, "Network: unknown latency kind {}",
+            static_cast<int>(latency_.kind));
 }
 
 bool Network::send(NodeId from, NodeId to, std::int64_t message) {
-  if (!topology_->has_edge(from, to)) {
-    throw std::invalid_argument(
-        core::format("send: ({}, {}) is not a link of the overlay", from, to));
-  }
+  LHG_CHECK(topology_->has_edge(from, to),
+            "send: ({}, {}) is not a link of the overlay", from, to);
   if (crashed_[static_cast<std::size_t>(from)] || !link_ok(from, to)) {
     return false;
   }

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 #include "core/bfs.h"
-#include "core/format.h"
+#include "core/check.h"
 
 namespace lhg::flooding {
 
@@ -14,10 +13,7 @@ using core::NodeId;
 namespace {
 
 void check_source(const NodeId source, const NodeId n) {
-  if (source < 0 || source >= n) {
-    throw std::invalid_argument(
-        core::format("source {} out of range for n={}", source, n));
-  }
+  LHG_CHECK_RANGE(source, n);
 }
 
 /// Applies a failure plan to a live network (time-0 failures fire
@@ -112,9 +108,8 @@ DisseminationResult probabilistic_flood(const core::Graph& topology,
                                         const ProbabilisticFloodConfig& cfg,
                                         const FailurePlan& failures) {
   check_source(cfg.source, topology.num_nodes());
-  if (cfg.forward_probability < 0.0 || cfg.forward_probability > 1.0) {
-    throw std::invalid_argument("probabilistic_flood: p out of range");
-  }
+  LHG_CHECK(cfg.forward_probability >= 0.0 && cfg.forward_probability <= 1.0,
+            "probabilistic_flood: p {} out of range", cfg.forward_probability);
   Simulator sim;
   core::Rng rng(cfg.seed);
   core::Rng coin = rng.split();
@@ -159,7 +154,7 @@ DisseminationResult probabilistic_flood(const core::Graph& topology,
 DisseminationResult gossip(NodeId num_nodes, const GossipConfig& cfg,
                            const FailurePlan& failures) {
   check_source(cfg.source, num_nodes);
-  if (cfg.fanout < 1) throw std::invalid_argument("gossip: fanout < 1");
+  LHG_CHECK(cfg.fanout >= 1, "gossip: fanout {} < 1", cfg.fanout);
   core::Rng rng(cfg.seed);
 
   std::vector<bool> alive(static_cast<std::size_t>(num_nodes), true);

@@ -1,10 +1,9 @@
 #include "flooding/reliable_broadcast.h"
 
 #include <functional>
-#include <stdexcept>
 #include <unordered_set>
 
-#include "core/format.h"
+#include "core/check.h"
 #include "core/rng.h"
 #include "flooding/network.h"
 
@@ -31,12 +30,10 @@ constexpr std::uint64_t direction_key(NodeId from, NodeId to) {
 ReliableBroadcastResult reliable_broadcast(const core::Graph& topology,
                                            const ReliableBroadcastConfig& cfg,
                                            const FailurePlan& failures) {
-  if (cfg.source < 0 || cfg.source >= topology.num_nodes()) {
-    throw std::invalid_argument("reliable_broadcast: bad source");
-  }
-  if (cfg.retransmit_interval <= 0 || cfg.max_retries < 0) {
-    throw std::invalid_argument("reliable_broadcast: bad retry settings");
-  }
+  LHG_CHECK_RANGE(cfg.source, topology.num_nodes());
+  LHG_CHECK(cfg.retransmit_interval > 0 && cfg.max_retries >= 0,
+            "reliable_broadcast: bad retry settings (interval={}, retries={})",
+            cfg.retransmit_interval, cfg.max_retries);
 
   Simulator sim;
   core::Rng rng(cfg.seed);

@@ -1,9 +1,8 @@
 #include "flooding/session.h"
 
 #include <algorithm>
-#include <stdexcept>
 
-#include "core/format.h"
+#include "core/check.h"
 #include "core/rng.h"
 
 namespace lhg::flooding {
@@ -15,13 +14,9 @@ SessionResult run_broadcast_session(const core::Graph& topology,
                                     const SessionConfig& cfg,
                                     const FailurePlan& failures) {
   for (const auto& spec : specs) {
-    if (spec.source < 0 || spec.source >= topology.num_nodes()) {
-      throw std::invalid_argument(
-          core::format("session: bad source {}", spec.source));
-    }
-    if (spec.start_time < 0) {
-      throw std::invalid_argument("session: negative start time");
-    }
+    LHG_CHECK_RANGE(spec.source, topology.num_nodes());
+    LHG_CHECK(spec.start_time >= 0, "session: negative start time {}",
+              spec.start_time);
   }
 
   Simulator sim;

@@ -1,8 +1,6 @@
 #include "harary/harary.h"
 
-#include <stdexcept>
-
-#include "core/format.h"
+#include "core/check.h"
 
 namespace lhg::harary {
 
@@ -10,11 +8,9 @@ using core::GraphBuilder;
 using core::NodeId;
 
 core::Graph circulant(NodeId n, std::int32_t k) {
-  if (k < 2 || k >= n) {
-    // H(1, n) is a path (no fault tolerance); this library starts at k = 2.
-    throw std::invalid_argument(
-        core::format("H(k,n) requires 2 <= k < n, got k={}, n={}", k, n));
-  }
+  // H(1, n) is a path (no fault tolerance); this library starts at k = 2.
+  LHG_CHECK(k >= 2 && k < n, "H(k,n) requires 2 <= k < n, got k={}, n={}", k,
+            n);
   GraphBuilder builder(n);
   const std::int32_t r = k / 2;
   for (NodeId i = 0; i < n; ++i) {
@@ -41,11 +37,8 @@ core::Graph circulant(NodeId n, std::int32_t k) {
 }
 
 std::int32_t predicted_diameter(NodeId n, std::int32_t k) {
-  if (k < 2 || k >= n) {
-    throw std::invalid_argument(
-        core::format("predicted_diameter requires 2 <= k < n, got k={}, n={}",
-                     k, n));
-  }
+  LHG_CHECK(k >= 2 && k < n,
+            "predicted_diameter requires 2 <= k < n, got k={}, n={}", k, n);
   const std::int32_t r = k / 2;
   if (k % 2 == 0) {
     // Farthest pair is n/2 ring-steps apart, covered r at a time.

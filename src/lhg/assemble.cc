@@ -1,11 +1,11 @@
 #include "lhg/assemble.h"
 
-#include <stdexcept>
+#include "core/check.h"
 
 namespace lhg {
 
 core::Graph assemble(const TreePlan& plan, Layout* layout_out) {
-  if (plan.k < 2) throw std::invalid_argument("assemble: k must be >= 2");
+  LHG_CHECK(plan.k >= 2, "assemble: k must be >= 2, got {}", plan.k);
 
   Layout layout;
   layout.k = plan.k;
@@ -21,7 +21,7 @@ core::Graph assemble(const TreePlan& plan, Layout* layout_out) {
   }
 
   const auto n = layout.total_nodes();
-  if (n > INT32_MAX) throw std::invalid_argument("assemble: graph too large");
+  LHG_CHECK(n <= INT32_MAX, "assemble: {} nodes exceed the NodeId range", n);
   core::GraphBuilder builder(static_cast<core::NodeId>(n));
 
   // Tree edges, once per copy.

@@ -1,9 +1,8 @@
 #include "lhg/jd.h"
 
 #include <algorithm>
-#include <stdexcept>
 
-#include "core/format.h"
+#include "core/check.h"
 #include "lhg/assemble.h"
 
 namespace lhg::jd {
@@ -11,10 +10,7 @@ namespace lhg::jd {
 namespace {
 
 void check_k(std::int32_t k) {
-  if (k < 2) {
-    throw std::invalid_argument(
-        core::format("J&D construction requires k >= 2, got {}", k));
-  }
+  LHG_CHECK(k >= 2, "J&D construction requires k >= 2, got {}", k);
 }
 
 }  // namespace
@@ -61,10 +57,8 @@ bool regular_exists(std::int64_t n, std::int32_t k) {
 
 core::Graph build(core::NodeId n, std::int32_t k) {
   auto tree = plan(n, k);
-  if (!tree.has_value()) {
-    throw std::invalid_argument(core::format(
-        "no strict Jenkins-Demers LHG exists for (n={}, k={})", n, k));
-  }
+  LHG_CHECK(tree.has_value(),
+            "no strict Jenkins-Demers LHG exists for (n={}, k={})", n, k);
   return assemble(*tree);
 }
 

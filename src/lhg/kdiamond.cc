@@ -1,8 +1,6 @@
 #include "lhg/kdiamond.h"
 
-#include <stdexcept>
-
-#include "core/format.h"
+#include "core/check.h"
 #include "lhg/assemble.h"
 
 namespace lhg::kdiamond {
@@ -10,15 +8,10 @@ namespace lhg::kdiamond {
 namespace {
 
 void check_args(std::int64_t n, std::int32_t k) {
-  if (k < 2) {
-    throw std::invalid_argument(
-        core::format("K-DIAMOND requires k >= 2, got {}", k));
-  }
-  if (n < 2 * k) {
-    throw std::invalid_argument(core::format(
-        "no K-DIAMOND LHG exists for (n={}, k={}): need n >= 2k = {}", n, k,
-        2 * k));
-  }
+  LHG_CHECK(k >= 2, "K-DIAMOND requires k >= 2, got {}", k);
+  LHG_CHECK(n >= 2 * k,
+            "no K-DIAMOND LHG exists for (n={}, k={}): need n >= 2k = {}", n,
+            k, 2 * k);
 }
 
 }  // namespace
@@ -47,10 +40,7 @@ TreePlan plan(std::int64_t n, std::int32_t k) {
 }
 
 bool exists(std::int64_t n, std::int32_t k) {
-  if (k < 2) {
-    throw std::invalid_argument(
-        core::format("K-DIAMOND requires k >= 2, got {}", k));
-  }
+  LHG_CHECK(k >= 2, "K-DIAMOND requires k >= 2, got {}", k);
   return n >= 2 * k;
 }
 

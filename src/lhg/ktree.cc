@@ -1,8 +1,6 @@
 #include "lhg/ktree.h"
 
-#include <stdexcept>
-
-#include "core/format.h"
+#include "core/check.h"
 #include "lhg/assemble.h"
 
 namespace lhg::ktree {
@@ -10,15 +8,10 @@ namespace lhg::ktree {
 namespace {
 
 void check_args(std::int64_t n, std::int32_t k) {
-  if (k < 2) {
-    throw std::invalid_argument(
-        core::format("K-TREE requires k >= 2, got {}", k));
-  }
-  if (n < 2 * k) {
-    throw std::invalid_argument(core::format(
-        "no K-TREE LHG exists for (n={}, k={}): need n >= 2k = {}", n, k,
-        2 * k));
-  }
+  LHG_CHECK(k >= 2, "K-TREE requires k >= 2, got {}", k);
+  LHG_CHECK(n >= 2 * k,
+            "no K-TREE LHG exists for (n={}, k={}): need n >= 2k = {}", n, k,
+            2 * k);
 }
 
 }  // namespace
@@ -40,10 +33,7 @@ TreePlan plan(std::int64_t n, std::int32_t k) {
 }
 
 bool exists(std::int64_t n, std::int32_t k) {
-  if (k < 2) {
-    throw std::invalid_argument(
-        core::format("K-TREE requires k >= 2, got {}", k));
-  }
+  LHG_CHECK(k >= 2, "K-TREE requires k >= 2, got {}", k);
   return n >= 2 * k;
 }
 

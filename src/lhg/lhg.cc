@@ -1,8 +1,6 @@
 #include "lhg/lhg.h"
 
-#include <stdexcept>
-
-#include "core/format.h"
+#include "core/check.h"
 #include "lhg/assemble.h"
 
 namespace lhg {
@@ -13,23 +11,21 @@ std::string to_string(Constraint c) {
     case Constraint::kKTree: return "k-tree";
     case Constraint::kKDiamond: return "k-diamond";
   }
-  throw std::invalid_argument("to_string: unknown constraint");
+  LHG_CHECK(false, "to_string: unknown constraint {}", static_cast<int>(c));
 }
 
 TreePlan plan(std::int64_t n, std::int32_t k, Constraint c) {
   switch (c) {
     case Constraint::kStrictJD: {
       auto p = jd::plan(n, k);
-      if (!p.has_value()) {
-        throw std::invalid_argument(core::format(
-            "no strict Jenkins-Demers LHG exists for (n={}, k={})", n, k));
-      }
+      LHG_CHECK(p.has_value(),
+                "no strict Jenkins-Demers LHG exists for (n={}, k={})", n, k);
       return *std::move(p);
     }
     case Constraint::kKTree: return ktree::plan(n, k);
     case Constraint::kKDiamond: return kdiamond::plan(n, k);
   }
-  throw std::invalid_argument("plan: unknown constraint");
+  LHG_CHECK(false, "plan: unknown constraint {}", static_cast<int>(c));
 }
 
 core::Graph build_with_layout(core::NodeId n, std::int32_t k, Constraint c,
@@ -47,7 +43,7 @@ bool exists(std::int64_t n, std::int32_t k, Constraint c) {
     case Constraint::kKTree: return ktree::exists(n, k);
     case Constraint::kKDiamond: return kdiamond::exists(n, k);
   }
-  throw std::invalid_argument("exists: unknown constraint");
+  LHG_CHECK(false, "exists: unknown constraint {}", static_cast<int>(c));
 }
 
 bool regular_exists(std::int64_t n, std::int32_t k, Constraint c) {
@@ -56,7 +52,7 @@ bool regular_exists(std::int64_t n, std::int32_t k, Constraint c) {
     case Constraint::kKTree: return ktree::regular_exists(n, k);
     case Constraint::kKDiamond: return kdiamond::regular_exists(n, k);
   }
-  throw std::invalid_argument("regular_exists: unknown constraint");
+  LHG_CHECK(false, "regular_exists: unknown constraint {}", static_cast<int>(c));
 }
 
 }  // namespace lhg

@@ -3,13 +3,10 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
 
-#include "core/format.h"
+#include "core/check.h"
 
 namespace lhg {
-
-using core::format;
 
 void write_plan(const TreePlan& plan, std::ostream& out) {
   out << "lhg-plan 1\n";
@@ -39,15 +36,13 @@ std::string next_data_line(std::istream& in) {
   while (std::getline(in, line)) {
     if (!line.empty() && line[0] != '#') return line;
   }
-  throw std::invalid_argument("lhg-plan: unexpected end of input");
+  LHG_CHECK(false, "lhg-plan: unexpected end of input");
 }
 
 void expect_keyword(std::istringstream& row, const std::string& keyword) {
   std::string word;
-  if (!(row >> word) || word != keyword) {
-    throw std::invalid_argument(
-        format("lhg-plan: expected '{}', got '{}'", keyword, word));
-  }
+  LHG_CHECK((row >> word) && word == keyword,
+            "lhg-plan: expected '{}', got '{}'", keyword, word);
 }
 
 }  // namespace
@@ -57,25 +52,21 @@ TreePlan read_plan(std::istream& in) {
     std::istringstream header(next_data_line(in));
     expect_keyword(header, "lhg-plan");
     int version = 0;
-    if (!(header >> version) || version != 1) {
-      throw std::invalid_argument("lhg-plan: unsupported version");
-    }
+    LHG_CHECK((header >> version) && version == 1,
+              "lhg-plan: unsupported version {}", version);
   }
   TreePlan plan;
   {
     std::istringstream row(next_data_line(in));
     expect_keyword(row, "k");
-    if (!(row >> plan.k) || plan.k < 2) {
-      throw std::invalid_argument("lhg-plan: bad k");
-    }
+    LHG_CHECK((row >> plan.k) && plan.k >= 2, "lhg-plan: bad k {}", plan.k);
   }
   std::int32_t num_interiors = 0;
   {
     std::istringstream row(next_data_line(in));
     expect_keyword(row, "interiors");
-    if (!(row >> num_interiors) || num_interiors < 1) {
-      throw std::invalid_argument("lhg-plan: bad interior count");
-    }
+    LHG_CHECK((row >> num_interiors) && num_interiors >= 1,
+              "lhg-plan: bad interior count {}", num_interiors);
   }
   plan.interior_parent.assign(static_cast<std::size_t>(num_interiors), -1);
   if (num_interiors > 1) {
@@ -83,10 +74,8 @@ TreePlan read_plan(std::istream& in) {
     expect_keyword(row, "parents");
     for (std::int32_t i = 1; i < num_interiors; ++i) {
       std::int32_t parent = -1;
-      if (!(row >> parent) || parent < 0 || parent >= i) {
-        throw std::invalid_argument(
-            format("lhg-plan: bad parent for interior {}", i));
-      }
+      LHG_CHECK((row >> parent) && parent >= 0 && parent < i,
+                "lhg-plan: bad parent {} for interior {}", parent, i);
       plan.interior_parent[static_cast<std::size_t>(i)] = parent;
     }
   }
@@ -94,26 +83,23 @@ TreePlan read_plan(std::istream& in) {
   {
     std::istringstream row(next_data_line(in));
     expect_keyword(row, "leaves");
-    if (!(row >> num_leaves) || num_leaves < 0) {
-      throw std::invalid_argument("lhg-plan: bad leaf count");
-    }
+    LHG_CHECK((row >> num_leaves) && num_leaves >= 0,
+              "lhg-plan: bad leaf count {}", num_leaves);
   }
   for (std::int32_t l = 0; l < num_leaves; ++l) {
     std::istringstream row(next_data_line(in));
     expect_keyword(row, "leaf");
     std::int32_t parent = -1;
     std::string kind;
-    if (!(row >> parent >> kind) || parent < 0 || parent >= num_interiors) {
-      throw std::invalid_argument(format("lhg-plan: bad leaf {}", l));
-    }
+    LHG_CHECK((row >> parent >> kind) && parent >= 0 && parent < num_interiors,
+              "lhg-plan: bad leaf {}", l);
     plan.leaf_parent.push_back(parent);
     if (kind == "shared") {
       plan.leaf_kind.push_back(LeafKind::kShared);
     } else if (kind == "unshared") {
       plan.leaf_kind.push_back(LeafKind::kUnshared);
     } else {
-      throw std::invalid_argument(
-          format("lhg-plan: unknown leaf kind '{}'", kind));
+      LHG_CHECK(false, "lhg-plan: unknown leaf kind '{}'", kind);
     }
   }
   return plan;

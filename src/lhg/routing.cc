@@ -1,9 +1,8 @@
 #include "lhg/routing.h"
 
 #include <algorithm>
-#include <stdexcept>
 
-#include "core/format.h"
+#include "core/check.h"
 #include "lhg/assemble.h"
 
 namespace lhg {
@@ -12,9 +11,11 @@ using core::NodeId;
 
 Router::Router(TreePlan plan, Layout layout)
     : plan_(std::move(plan)), layout_(std::move(layout)) {
-  if (plan_.k != layout_.k || plan_.num_interiors() != layout_.num_interiors) {
-    throw std::invalid_argument("Router: plan/layout mismatch");
-  }
+  LHG_CHECK(plan_.k == layout_.k &&
+                plan_.num_interiors() == layout_.num_interiors,
+            "Router: plan (k={}, interiors={}) does not match layout "
+            "(k={}, interiors={})",
+            plan_.k, plan_.num_interiors(), layout_.k, layout_.num_interiors);
   depth_ = plan_.interior_depths();
   first_leaf_of_.assign(static_cast<std::size_t>(plan_.num_interiors()), -1);
   first_interior_child_.assign(static_cast<std::size_t>(plan_.num_interiors()),
@@ -41,9 +42,7 @@ Router::Router(TreePlan plan, Layout layout)
 }
 
 Router::Position Router::classify(NodeId node) const {
-  if (node < 0 || node >= layout_.total_nodes()) {
-    throw std::invalid_argument(core::format("Router: bad node {}", node));
-  }
+  LHG_CHECK_RANGE(node, layout_.total_nodes());
   Position pos{};
   const auto interiors = layout_.k * layout_.num_interiors;
   if (node < interiors) {
@@ -97,7 +96,7 @@ Router::Anchor Router::anchor(const Position& pos, NodeId node,
       return a;
     }
   }
-  throw std::logic_error("Router: unknown position kind");
+  LHG_CHECK(false, "Router: unknown position kind");
 }
 
 std::vector<NodeId> Router::tree_route(std::int32_t copy, std::int32_t a,
@@ -137,7 +136,7 @@ std::vector<NodeId> Router::cross_copies(std::int32_t copy,
   std::int32_t at = interior;
   while (first_leaf_of_[static_cast<std::size_t>(at)] == -1) {
     at = first_interior_child_[static_cast<std::size_t>(at)];
-    if (at == -1) throw std::logic_error("Router: interior with no subtree leaf");
+    LHG_CHECK(at != -1, "Router: interior with no subtree leaf");
     path.push_back(layout_.interior(copy, at));
   }
   const auto leaf = first_leaf_of_[static_cast<std::size_t>(at)];

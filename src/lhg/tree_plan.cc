@@ -1,13 +1,10 @@
 #include "lhg/tree_plan.h"
 
 #include <algorithm>
-#include <stdexcept>
 
-#include "core/format.h"
+#include "core/check.h"
 
 namespace lhg {
-
-using core::format;
 
 namespace {
 
@@ -51,19 +48,17 @@ std::int32_t TreePlan::height() const {
 }
 
 void TreePlan::check_invariants(std::int32_t max_added_per_bottom) const {
-  if (k < 2) throw std::logic_error("TreePlan: k < 2");
-  if (num_interiors() < 1) throw std::logic_error("TreePlan: no root");
-  if (interior_parent[0] != -1) throw std::logic_error("TreePlan: bad root");
+  LHG_CHECK(k >= 2, "TreePlan: k < 2 (got {})", k);
+  LHG_CHECK(num_interiors() >= 1, "TreePlan: no root");
+  LHG_CHECK(interior_parent[0] == -1, "TreePlan: bad root");
   for (std::int32_t i = 1; i < num_interiors(); ++i) {
     const auto p = interior_parent[static_cast<std::size_t>(i)];
-    if (p < 0 || p >= i) {
-      throw std::logic_error(
-          format("TreePlan: interior {} has non-BFS parent {}", i, p));
-    }
+    LHG_CHECK(p >= 0 && p < i, "TreePlan: interior {} has non-BFS parent {}",
+              i, p);
   }
-  if (leaf_kind.size() != leaf_parent.size()) {
-    throw std::logic_error("TreePlan: leaf_kind / leaf_parent size mismatch");
-  }
+  LHG_CHECK(leaf_kind.size() == leaf_parent.size(),
+            "TreePlan: leaf_kind / leaf_parent size mismatch ({} vs {})",
+            leaf_kind.size(), leaf_parent.size());
 
   std::vector<std::int32_t> interior_children(
       static_cast<std::size_t>(num_interiors()), 0);
@@ -74,9 +69,7 @@ void TreePlan::check_invariants(std::int32_t max_added_per_bottom) const {
         interior_parent[static_cast<std::size_t>(i)])];
   }
   for (std::int32_t p : leaf_parent) {
-    if (p < 0 || p >= num_interiors()) {
-      throw std::logic_error(format("TreePlan: leaf parent {} out of range", p));
-    }
+    LHG_CHECK_RANGE(p, num_interiors());
     ++leaf_children[static_cast<std::size_t>(p)];
   }
 
@@ -84,21 +77,15 @@ void TreePlan::check_invariants(std::int32_t max_added_per_bottom) const {
     const auto cap = base_capacity(k, i);
     const auto total = interior_children[static_cast<std::size_t>(i)] +
                        leaf_children[static_cast<std::size_t>(i)];
-    if (total < cap) {
-      throw std::logic_error(
-          format("TreePlan: interior {} has {} children, needs >= {}", i,
-                 total, cap));
-    }
+    LHG_CHECK(total >= cap, "TreePlan: interior {} has {} children, needs >= {}",
+              i, total, cap);
     if (total > cap) {
-      if (leaf_children[static_cast<std::size_t>(i)] == 0) {
-        throw std::logic_error(format(
-            "TreePlan: interior {} has extra children but no leaf child", i));
-      }
-      if (total - cap > max_added_per_bottom) {
-        throw std::logic_error(
-            format("TreePlan: interior {} has {} added leaves (max {})", i,
-                   total - cap, max_added_per_bottom));
-      }
+      LHG_CHECK(leaf_children[static_cast<std::size_t>(i)] != 0,
+                "TreePlan: interior {} has extra children but no leaf child",
+                i);
+      LHG_CHECK(total - cap <= max_added_per_bottom,
+                "TreePlan: interior {} has {} added leaves (max {})", i,
+                total - cap, max_added_per_bottom);
     }
   }
 
@@ -111,17 +98,13 @@ void TreePlan::check_invariants(std::int32_t max_added_per_bottom) const {
     lo = std::min(lo, d);
     hi = std::max(hi, d);
   }
-  if (!leaf_parent.empty() && hi - lo > 1) {
-    throw std::logic_error(
-        format("TreePlan: unbalanced leaf depths {}..{}", lo, hi));
-  }
+  LHG_CHECK(leaf_parent.empty() || hi - lo <= 1,
+            "TreePlan: unbalanced leaf depths {}..{}", lo, hi);
 }
 
 TreePlan base_plan(std::int32_t k, std::int32_t num_interiors) {
-  if (k < 2) throw std::invalid_argument("base_plan: k must be >= 2");
-  if (num_interiors < 1) {
-    throw std::invalid_argument("base_plan: need at least the root interior");
-  }
+  LHG_CHECK(k >= 2, "base_plan: k must be >= 2, got {}", k);
+  LHG_CHECK(num_interiors >= 1, "base_plan: need at least the root interior");
   TreePlan plan;
   plan.k = k;
   plan.interior_parent.assign(static_cast<std::size_t>(num_interiors), -1);
@@ -133,9 +116,8 @@ TreePlan base_plan(std::int32_t k, std::int32_t num_interiors) {
     while (used[static_cast<std::size_t>(frontier)] ==
            base_capacity(k, frontier)) {
       ++frontier;
-      if (frontier >= i) {
-        throw std::logic_error("base_plan: ran out of open slots");
-      }
+      LHG_CHECK(frontier < i, "base_plan: ran out of open slots at interior {}",
+                i);
     }
     plan.interior_parent[static_cast<std::size_t>(i)] = frontier;
     ++used[static_cast<std::size_t>(frontier)];
@@ -166,36 +148,27 @@ std::vector<std::int32_t> bottom_interiors(const TreePlan& plan) {
 }
 
 void add_extra_leaf(TreePlan& plan, std::int32_t host) {
-  if (host < 0 || host >= plan.num_interiors()) {
-    throw std::invalid_argument(format("add_extra_leaf: bad host {}", host));
-  }
+  LHG_CHECK_RANGE(host, plan.num_interiors());
   const bool hosts_leaves =
       std::find(plan.leaf_parent.begin(), plan.leaf_parent.end(), host) !=
       plan.leaf_parent.end();
-  if (!hosts_leaves) {
-    throw std::invalid_argument(
-        format("add_extra_leaf: interior {} is not just above the leaves",
-               host));
-  }
+  LHG_CHECK(hosts_leaves,
+            "add_extra_leaf: interior {} is not just above the leaves", host);
   plan.leaf_parent.push_back(host);
   plan.leaf_kind.push_back(LeafKind::kShared);
 }
 
 void make_leaf_unshared(TreePlan& plan, std::int32_t leaf) {
-  if (leaf < 0 || leaf >= plan.num_leaves()) {
-    throw std::invalid_argument(format("make_leaf_unshared: bad leaf {}", leaf));
-  }
-  if (plan.leaf_kind[static_cast<std::size_t>(leaf)] == LeafKind::kUnshared) {
-    throw std::invalid_argument(
-        format("make_leaf_unshared: leaf {} already unshared", leaf));
-  }
+  LHG_CHECK_RANGE(leaf, plan.num_leaves());
+  LHG_CHECK(plan.leaf_kind[static_cast<std::size_t>(leaf)] != LeafKind::kUnshared,
+            "make_leaf_unshared: leaf {} already unshared", leaf);
   plan.leaf_kind[static_cast<std::size_t>(leaf)] = LeafKind::kUnshared;
 }
 
 std::int32_t count_bottom_interiors(std::int32_t k, std::int32_t num_interiors) {
-  if (k < 2 || num_interiors < 1) {
-    throw std::invalid_argument("count_bottom_interiors: bad arguments");
-  }
+  LHG_CHECK(k >= 2 && num_interiors >= 1,
+            "count_bottom_interiors: bad arguments k={}, interiors={}", k,
+            num_interiors);
   // Interior i owns the global slot range [start_i, start_i + cap_i);
   // the first num_interiors-1 slots are consumed by interiors, so i is a
   // bottom interior iff its range extends past that prefix.

@@ -2,8 +2,8 @@
 
 #include <cmath>
 #include <sstream>
-#include <stdexcept>
 
+#include "core/check.h"
 #include "core/connectivity.h"
 #include "core/diameter.h"
 #include "core/format.h"
@@ -31,8 +31,8 @@ bool removal_reduces_connectivity(const core::Graph& g, core::Edge e,
 
 VerificationReport verify(const core::Graph& g, std::int32_t k,
                           const VerifyOptions& options) {
-  if (k < 1) throw std::invalid_argument("verify: k must be >= 1");
-  if (g.num_nodes() == 0) throw std::invalid_argument("verify: empty graph");
+  LHG_CHECK(k >= 1, "verify: k must be >= 1, got {}", k);
+  LHG_CHECK(g.num_nodes() > 0, "verify: empty graph");
 
   VerificationReport report;
   report.k = k;

@@ -1,9 +1,8 @@
 #include "membership/membership.h"
 
 #include <algorithm>
-#include <stdexcept>
 
-#include "core/format.h"
+#include "core/check.h"
 
 namespace lhg::membership {
 
@@ -33,11 +32,9 @@ bool Overlay::can_shrink() const {
 }
 
 Churn Overlay::resize(core::NodeId new_size) {
-  if (!exists(new_size, k_, constraint_)) {
-    throw std::invalid_argument(
-        core::format("overlay cannot resize to n={} under {} (k={})",
-                     new_size, to_string(constraint_), k_));
-  }
+  LHG_CHECK(exists(new_size, k_, constraint_),
+            "overlay cannot resize to n={} under {} (k={})", new_size,
+            to_string(constraint_), k_);
   core::Graph next = build(new_size, k_, constraint_);
   Churn churn = diff(graph_, next);
   graph_ = std::move(next);

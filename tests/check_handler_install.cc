@@ -1,0 +1,17 @@
+// Installs the throwing contract-failure handler for the whole test
+// binary (static initializers run before main, hence before any test).
+// Contract failures then surface as catchable ContractViolation — which
+// is a std::invalid_argument — instead of aborting the process, so
+// death paths are ordinary EXPECT_THROW tests.
+
+#include "core/check.h"
+
+namespace {
+
+[[maybe_unused]] const bool kHandlerInstalled = [] {
+  lhg::core::set_check_failure_handler(
+      &lhg::core::throwing_check_failure_handler);
+  return true;
+}();
+
+}  // namespace

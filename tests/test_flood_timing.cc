@@ -74,7 +74,9 @@ TEST_P(FloodTimingOracle, DeliveryTimesAreShortestLatencyPaths) {
   // the edge key — deterministic, reproducible in the oracle.
   std::unordered_map<std::uint64_t, double> weight;
   for (const Edge e : g.edges()) {
-    std::uint64_t h = core::edge_key(e.u, e.v) * 0x9e3779b97f4a7c15ULL + seed;
+    constexpr std::uint64_t kMix = 0x9e3779b97f4a7c15;
+    std::uint64_t h =
+        core::edge_key(e.u, e.v) * kMix + static_cast<std::uint64_t>(seed);
     weight[core::edge_key(e.u, e.v)] =
         1.0 + static_cast<double>(h % 1000) / 1000.0;  // [1, 2)
   }

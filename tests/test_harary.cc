@@ -67,7 +67,7 @@ TEST(Harary, LinearDiameterGrowth) {
 }
 
 TEST(Harary, PredictedDiameterTracksMeasured) {
-  for (const auto [n, k] : {std::pair{64, 4}, {100, 6}, {60, 3}, {101, 5}}) {
+  for (const auto& [n, k] : {std::pair{64, 4}, {100, 6}, {60, 3}, {101, 5}}) {
     const auto measured = core::diameter(circulant(n, k));
     const auto predicted = predicted_diameter(n, k);
     EXPECT_NEAR(measured, predicted, 2.0) << "n=" << n << " k=" << k;
@@ -77,7 +77,7 @@ TEST(Harary, PredictedDiameterTracksMeasured) {
 TEST(Harary, CirculantIsLinkMinimal) {
   // Harary graphs achieve the edge-count optimum, so every link must be
   // critical (P3) — the verifier checks each edge exactly.
-  for (const auto [n, k] : {std::pair{12, 4}, {13, 3}, {16, 5}}) {
+  for (const auto& [n, k] : {std::pair{12, 4}, {13, 3}, {16, 5}}) {
     Graph g = circulant(static_cast<core::NodeId>(n), k);
     std::int64_t critical = 0;
     for (const auto e : g.edges()) {

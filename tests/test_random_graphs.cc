@@ -35,7 +35,7 @@ TEST(RandomGnm, DeterministicPerSeed) {
 
 TEST(RandomRegular, DegreesExact) {
   Rng rng(3);
-  for (const auto [n, k] : {std::pair{10, 3}, {20, 4}, {31, 6}, {64, 5}}) {
+  for (const auto& [n, k] : {std::pair{10, 3}, {20, 4}, {31, 6}, {64, 5}}) {
     Graph g = random_regular(static_cast<NodeId>(n), k, rng);
     EXPECT_TRUE(g.is_regular(k)) << "n=" << n << " k=" << k;
     EXPECT_EQ(g.num_edges(), static_cast<std::int64_t>(n) * k / 2);
