@@ -14,16 +14,21 @@
 #include "lhg/lhg.h"
 #include "table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lhg;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::BenchReport report("bench_connectivity");
 
-  std::cout << "E3: exact kappa / lambda over a dense (n, k) grid\n";
+  std::cout << "E3: exact kappa / lambda over a dense (n, k) grid  [threads="
+            << core::global_thread_count() << "]\n";
   bench::Table table({"k", "n", "construction", "kappa", "lambda", "ok"}, 13);
   table.print_header();
 
   std::int64_t rows = 0;
   std::int64_t deviations = 0;
-  for (const std::int32_t k : {2, 3, 4, 5, 6}) {
+  const auto ks = opts.small ? std::vector<std::int32_t>{2, 3, 4}
+                             : std::vector<std::int32_t>{2, 3, 4, 5, 6};
+  for (const std::int32_t k : ks) {
     // Dense near 2k (every residue), then sparse checkpoints.
     std::vector<core::NodeId> sizes;
     for (core::NodeId n = 2 * k; n < 2 * k + 2 * (k - 1) + 2; ++n) {
@@ -31,8 +36,9 @@ int main() {
     }
     for (const core::NodeId n :
          {6 * k + 1, 12 * k, 25 * k + 3, 60 * k + 1}) {
-      sizes.push_back(n);
+      if (!opts.small || n <= 30 * k) sizes.push_back(n);
     }
+    const bench::WallTimer k_timer;
     for (const auto n : sizes) {
       struct Row {
         std::string name;
@@ -58,10 +64,14 @@ int main() {
         }
       }
     }
+    report.add("kappa_lambda_grid/k=" + std::to_string(k),
+               {{"k", k}, {"sizes", static_cast<std::int64_t>(sizes.size())}},
+               k_timer.elapsed_ns());
     std::cout << '\n';
   }
   std::cout << "grid summary: " << rows << " graphs checked, " << deviations
             << " deviations from kappa = lambda = k\n";
   std::cout << "shape check: deviations == 0\n";
-  return deviations == 0 ? 0 : 1;
+  if (deviations != 0) return 1;
+  return opts.finish(report);
 }

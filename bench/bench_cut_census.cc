@@ -32,12 +32,15 @@ std::string fraction(const lhg::core::CutCensus& census) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lhg;
   using core::CutCensus;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::BenchReport report("bench_cut_census");
 
   const std::int32_t k = 3;
-  std::cout << "E17: fatal-subset census, k = " << k << "\n";
+  std::cout << "E17: fatal-subset census, k = " << k << "  [threads="
+            << core::global_thread_count() << "]\n";
 
   // Exhaustive at n = 18.
   {
@@ -51,20 +54,28 @@ int main() {
                         "rand_fatal"},
                        13);
     table.print_header();
-    for (std::int32_t size = k - 1; size <= k + 3; ++size) {
-      table.print_row(
-          size,
-          static_cast<std::int64_t>(core::subset_count(n, size)),
-          core::fatal_node_subsets(lhg_graph, size).fatal,
-          core::fatal_node_subsets(harary_graph, size).fatal,
-          core::fatal_node_subsets(random_graph, size).fatal);
+    const std::int32_t max_size = opts.small ? k + 1 : k + 3;
+    for (std::int32_t size = k - 1; size <= max_size; ++size) {
+      const bench::WallTimer timer;
+      const auto lhg_fatal = core::fatal_node_subsets(lhg_graph, size).fatal;
+      const auto harary_fatal =
+          core::fatal_node_subsets(harary_graph, size).fatal;
+      const auto rand_fatal =
+          core::fatal_node_subsets(random_graph, size).fatal;
+      table.print_row(size,
+                      static_cast<std::int64_t>(core::subset_count(n, size)),
+                      lhg_fatal, harary_fatal, rand_fatal);
+      report.add("exhaustive/n=" + std::to_string(n) +
+                     "/size=" + std::to_string(size),
+                 {{"n", n}, {"size", size}, {"lhg_fatal", lhg_fatal}},
+                 timer.elapsed_ns());
     }
   }
 
   // Sampled at n = 150.
   {
     const core::NodeId n = 150;
-    constexpr std::int64_t kTrials = 20000;
+    const std::int64_t kTrials = opts.small ? 4000 : 20000;
     const auto lhg_graph = build(n, k);
     const auto harary_graph = harary::circulant(n, k);
     core::Rng rng(3);
@@ -77,15 +88,21 @@ int main() {
       core::Rng a(static_cast<std::uint64_t>(10 + size));
       core::Rng b(static_cast<std::uint64_t>(20 + size));
       core::Rng c(static_cast<std::uint64_t>(30 + size));
+      const bench::WallTimer timer;
+      const auto lhg_frac =
+          fraction(core::sampled_fatal_subsets(lhg_graph, size, kTrials, a));
       table.print_row(
-          size,
-          fraction(core::sampled_fatal_subsets(lhg_graph, size, kTrials, a)),
+          size, lhg_frac,
           fraction(core::sampled_fatal_subsets(harary_graph, size, kTrials, b)),
           fraction(core::sampled_fatal_subsets(random_graph, size, kTrials, c)));
+      report.add("sampled/n=" + std::to_string(n) +
+                     "/size=" + std::to_string(size),
+                 {{"n", n}, {"size", size}, {"trials", kTrials}},
+                 timer.elapsed_ns());
     }
   }
   std::cout << "\nshape check: at size k every k-regular topology has >= n "
                "neighbor-set cuts (harary exactly n, lhg a few extra); for "
                "larger sizes rand < lhg << harary\n";
-  return 0;
+  return opts.finish(report);
 }

@@ -7,6 +7,11 @@
 //
 // Expected shape: the Harary column doubles with n; the LHG column grows
 // by ~log(k-1) steps per doubling; crossover is immediate (n >= 4k).
+//
+// Wall-clock for each exact-diameter call is recorded and, with
+// `--json <path>`, exported for the CI perf gate.  The diameter kernel
+// is parallel (LHG_THREADS / core/parallel.h); values are identical at
+// every thread count, only the wall columns change.
 
 #include <cmath>
 #include <iostream>
@@ -16,38 +21,67 @@
 #include "lhg/lhg.h"
 #include "table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lhg;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::BenchReport report("bench_diameter");
 
   std::cout << "E1: exact diameter (and mean path length), LHG vs classic "
-               "Harary H(k,n)\n";
+               "Harary H(k,n)  [threads=" << core::global_thread_count()
+            << "]\n";
   bench::Table table({"k", "n", "lhg_diam", "harary_diam", "log2(n)",
-                      "harary_pred", "ratio", "lhg_apl", "harary_apl"},
+                      "harary_pred", "ratio", "lhg_ms", "harary_ms"},
                      12);
   table.print_header();
 
+  const core::NodeId max_n = opts.small ? 1024 : 16384;
   // Average path length costs an all-pairs BFS; cap it at 2048 nodes.
-  constexpr core::NodeId kAplLimit = 2048;
+  const core::NodeId apl_limit = opts.small ? 256 : 2048;
   for (const std::int32_t k : {3, 4, 6, 8}) {
-    for (core::NodeId n = 32; n <= 16384; n *= 2) {
+    for (core::NodeId n = 32; n <= max_n; n *= 2) {
       if (n < 2 * k) continue;
       const auto lhg_graph = build(n, k);
       const auto harary_graph = harary::circulant(n, k);
+
+      const bench::WallTimer lhg_timer;
       const auto lhg_diam = core::diameter(lhg_graph);
+      const auto lhg_ns = lhg_timer.elapsed_ns();
+
+      const bench::WallTimer harary_timer;
       const auto harary_diam = core::diameter(harary_graph);
-      const bool apl = n <= kAplLimit;
+      const auto harary_ns = harary_timer.elapsed_ns();
+
       table.print_row(k, n, lhg_diam, harary_diam,
                       std::log2(static_cast<double>(n)),
                       harary::predicted_diameter(n, k),
                       static_cast<double>(harary_diam) /
                           static_cast<double>(lhg_diam),
-                      apl ? core::average_path_length(lhg_graph) : -1.0,
-                      apl ? core::average_path_length(harary_graph) : -1.0);
+                      static_cast<double>(lhg_ns) / 1e6,
+                      static_cast<double>(harary_ns) / 1e6);
+      report.add("diameter/topo=lhg/k=" + std::to_string(k) +
+                     "/n=" + std::to_string(n),
+                 {{"topo", "lhg"}, {"k", k}, {"n", n}, {"diam", lhg_diam}},
+                 lhg_ns);
+      report.add("diameter/topo=harary/k=" + std::to_string(k) +
+                     "/n=" + std::to_string(n),
+                 {{"topo", "harary"},
+                  {"k", k},
+                  {"n", n},
+                  {"diam", harary_diam}},
+                 harary_ns);
+
+      if (n <= apl_limit) {
+        const bench::WallTimer apl_timer;
+        const double lhg_apl = core::average_path_length(lhg_graph);
+        report.add("apl/topo=lhg/k=" + std::to_string(k) +
+                       "/n=" + std::to_string(n),
+                   {{"topo", "lhg"}, {"k", k}, {"n", n}, {"apl", lhg_apl}},
+                   apl_timer.elapsed_ns());
+      }
     }
     std::cout << '\n';
   }
   std::cout << "shape check: harary_diam ~ n/k (doubles with n); "
-               "lhg_diam ~ 2*log_{k-1}(n) (adds a constant per doubling); "
-               "mean path lengths follow the same regimes (-1 = skipped)\n";
-  return 0;
+               "lhg_diam ~ 2*log_{k-1}(n) (adds a constant per doubling)\n";
+  return opts.finish(report);
 }

@@ -9,10 +9,15 @@
 // adversarial pattern aimed at a minimum vertex cut, and report the
 // delivery ratio (must stay 1.0 up to f = k−1) and the mean/max
 // completion rounds.
+//
+// Trials are independent and run in parallel: trial t derives its crash
+// pattern from Rng::stream(seed, t), so every aggregate below is
+// identical at every thread count.
 
 #include <algorithm>
 #include <iostream>
 
+#include "core/parallel.h"
 #include "flooding/failure.h"
 #include "flooding/protocols.h"
 #include "harary/harary.h"
@@ -22,65 +27,93 @@
 namespace {
 
 struct Aggregate {
+  double total_rounds = 0;
   double mean_rounds = 0;
   std::int32_t max_rounds = 0;
   double min_delivery = 1.0;
   std::int32_t incomplete = 0;
+
+  static Aggregate merge(Aggregate a, const Aggregate& b) {
+    a.total_rounds += b.total_rounds;
+    a.max_rounds = std::max(a.max_rounds, b.max_rounds);
+    a.min_delivery = std::min(a.min_delivery, b.min_delivery);
+    a.incomplete += b.incomplete;
+    return a;
+  }
 };
 
 Aggregate sweep(const lhg::core::Graph& g, std::int32_t f, int trials,
                 std::uint64_t seed) {
   using namespace lhg::flooding;
-  Aggregate agg;
-  lhg::core::Rng rng(seed);
-  double total = 0;
-  for (int t = 0; t < trials; ++t) {
-    const auto plan = (t == 0 && f > 0)
-                          ? cut_targeted_crashes(g, f, 0, rng)
-                          : random_crashes(g, f, 0, rng);
-    const auto result = flood(g, {.source = 0}, plan);
-    total += result.completion_hops;
-    agg.max_rounds = std::max(agg.max_rounds, result.completion_hops);
-    agg.min_delivery = std::min(agg.min_delivery, result.delivery_ratio());
-    agg.incomplete += result.all_alive_delivered() ? 0 : 1;
-  }
-  agg.mean_rounds = total / trials;
+  Aggregate agg = lhg::core::parallel_reduce<Aggregate>(
+      trials, 4, Aggregate{},
+      [&](std::int64_t begin, std::int64_t end, int) {
+        Aggregate chunk;
+        for (std::int64_t t = begin; t < end; ++t) {
+          auto rng =
+              lhg::core::Rng::stream(seed, static_cast<std::uint64_t>(t));
+          const auto plan = (t == 0 && f > 0)
+                                ? cut_targeted_crashes(g, f, 0, rng)
+                                : random_crashes(g, f, 0, rng);
+          const auto result = flood(g, {.source = 0}, plan);
+          chunk.total_rounds += result.completion_hops;
+          chunk.max_rounds = std::max(chunk.max_rounds, result.completion_hops);
+          chunk.min_delivery =
+              std::min(chunk.min_delivery, result.delivery_ratio());
+          chunk.incomplete += result.all_alive_delivered() ? 0 : 1;
+        }
+        return chunk;
+      },
+      Aggregate::merge);
+  agg.mean_rounds = agg.total_rounds / trials;
   return agg;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lhg;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::BenchReport report("bench_flood_failures");
 
-  constexpr int kTrials = 100;
-  std::cout << "E5: flood under f crashes (100 random + 1 cut-adversarial "
-               "patterns per row)\n";
+  const int trials = opts.small ? 25 : 100;
+  std::cout << "E5: flood under f crashes (" << trials
+            << " random + 1 cut-adversarial patterns per row)  [threads="
+            << core::global_thread_count() << "]\n";
   bench::Table table({"topology", "k", "n", "f", "mean_rounds", "max_rounds",
                       "min_deliv", "incomplete"},
                      12);
   table.print_header();
+
+  const auto measure = [&](const char* topo, const core::Graph& g,
+                           std::int32_t k, core::NodeId n, std::int32_t f,
+                           std::uint64_t seed) {
+    const bench::WallTimer timer;
+    const auto agg = sweep(g, f, trials, seed);
+    table.print_row(topo, k, n, f, agg.mean_rounds, agg.max_rounds,
+                    agg.min_delivery, agg.incomplete);
+    report.add(std::string("flood/topo=") + topo + "/k=" + std::to_string(k) +
+                   "/f=" + std::to_string(f),
+               {{"topo", topo}, {"k", k}, {"n", n}, {"f", f},
+                {"mean_rounds", agg.mean_rounds},
+                {"incomplete", agg.incomplete}},
+               timer.elapsed_ns());
+  };
 
   for (const std::int32_t k : {3, 5}) {
     const core::NodeId n = 2 * k + 2 * 60 * (k - 1);  // regular lattice size
     const auto lhg_graph = build(n, k);
     const auto harary_graph = harary::circulant(n, k);
     for (std::int32_t f = 0; f < k; ++f) {
-      const auto lhg_agg =
-          sweep(lhg_graph, f, kTrials, static_cast<std::uint64_t>(1000 + f));
-      table.print_row("lhg", k, n, f, lhg_agg.mean_rounds, lhg_agg.max_rounds,
-                      lhg_agg.min_delivery, lhg_agg.incomplete);
+      measure("lhg", lhg_graph, k, n, f, static_cast<std::uint64_t>(1000 + f));
     }
     for (std::int32_t f = 0; f < k; ++f) {
-      const auto harary_agg = sweep(harary_graph, f, kTrials,
-                                    static_cast<std::uint64_t>(2000 + f));
-      table.print_row("harary", k, n, f, harary_agg.mean_rounds,
-                      harary_agg.max_rounds, harary_agg.min_delivery,
-                      harary_agg.incomplete);
+      measure("harary", harary_graph, k, n, f,
+              static_cast<std::uint64_t>(2000 + f));
     }
     std::cout << '\n';
   }
   std::cout << "shape check: incomplete == 0 and min_deliv == 1.0 for all "
                "f <= k-1; lhg mean_rounds ~ log n vs harary ~ n/k\n";
-  return 0;
+  return opts.finish(report);
 }

@@ -9,10 +9,15 @@
 // regular graph survives best (its cuts are rare), Harary degrades
 // fastest (any k ring-adjacent crashes cut it), and the LHG sits in
 // between — its only k-cuts are leaf/parent neighborhoods.
+//
+// The trial loop is parallel: trial t draws from the independent stream
+// Rng::stream(seed, t), so the survival estimates are identical at
+// every thread count (and across chunk schedules).
 
 #include <iostream>
 
 #include "core/bfs.h"
+#include "core/parallel.h"
 #include "core/random_graphs.h"
 #include "harary/harary.h"
 #include "lhg/lhg.h"
@@ -22,26 +27,38 @@ namespace {
 
 double survival_probability(const lhg::core::Graph& g, std::int32_t f,
                             int trials, std::uint64_t seed) {
-  lhg::core::Rng rng(seed);
-  int survived = 0;
-  for (int t = 0; t < trials; ++t) {
-    const auto removed = rng.sample_without_replacement(g.num_nodes(), f);
-    std::vector<lhg::core::NodeId> nodes(removed.begin(), removed.end());
-    survived += lhg::core::is_connected_after_node_removal(g, nodes) ? 1 : 0;
-  }
+  const std::int64_t survived = lhg::core::parallel_reduce<std::int64_t>(
+      trials, 8, std::int64_t{0},
+      [&](std::int64_t begin, std::int64_t end, int) {
+        std::int64_t chunk_survived = 0;
+        for (std::int64_t t = begin; t < end; ++t) {
+          auto rng = lhg::core::Rng::stream(seed, static_cast<std::uint64_t>(t));
+          const auto removed =
+              rng.sample_without_replacement(g.num_nodes(), f);
+          const std::vector<lhg::core::NodeId> nodes(removed.begin(),
+                                                     removed.end());
+          chunk_survived +=
+              lhg::core::is_connected_after_node_removal(g, nodes) ? 1 : 0;
+        }
+        return chunk_survived;
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
   return static_cast<double>(survived) / trials;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lhg;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::BenchReport report("bench_resilience");
 
-  constexpr int kTrials = 1000;
+  const int trials = opts.small ? 200 : 1000;
   const std::int32_t k = 4;
   const core::NodeId n = 2 * k + 2 * 49 * (k - 1);  // 302, k-regular lattice
-  std::cout << "E7: P(connected | f uniform crashes), " << kTrials
-            << " trials, n=" << n << ", k=" << k << "\n";
+  std::cout << "E7: P(connected | f uniform crashes), " << trials
+            << " trials, n=" << n << ", k=" << k
+            << "  [threads=" << core::global_thread_count() << "]\n";
 
   const auto lhg_graph = build(n, k);
   const auto harary_graph = harary::circulant(n, k);
@@ -50,16 +67,26 @@ int main() {
 
   bench::Table table({"f", "lhg", "harary", "rand_kreg"}, 12);
   table.print_header();
+  const auto measure = [&](const char* topo, const core::Graph& g,
+                           std::int32_t f, std::uint64_t seed) {
+    const bench::WallTimer timer;
+    const double p = survival_probability(g, f, trials, seed);
+    report.add(std::string("survival/topo=") + topo +
+                   "/f=" + std::to_string(f),
+               {{"topo", topo}, {"k", k}, {"n", n}, {"f", f},
+                {"trials", std::int64_t{trials}}, {"p", p}},
+               timer.elapsed_ns());
+    return p;
+  };
   for (const std::int32_t f : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32}) {
     const auto seed = [f](std::int32_t base) {
       return static_cast<std::uint64_t>(base + f);
     };
-    table.print_row(
-        f, survival_probability(lhg_graph, f, kTrials, seed(10)),
-        survival_probability(harary_graph, f, kTrials, seed(20)),
-        survival_probability(random_graph, f, kTrials, seed(30)));
+    table.print_row(f, measure("lhg", lhg_graph, f, seed(10)),
+                    measure("harary", harary_graph, f, seed(20)),
+                    measure("rand_kreg", random_graph, f, seed(30)));
   }
   std::cout << "shape check: all 1.00 for f < k = 4; beyond that "
                "rand_kreg >= lhg >= harary\n";
-  return 0;
+  return opts.finish(report);
 }

@@ -1,0 +1,220 @@
+// Machine-readable benchmark output.
+//
+// Every bench binary prints a human table (bench/table.h) AND can emit
+// the same measurements as JSON via `--json <path>`, giving CI and
+// EXPERIMENTS.md a single machine-readable source of truth:
+//
+//   {
+//     "schema": 1,
+//     "bench": "bench_diameter",
+//     "git_sha": "1a2b3c4",
+//     "threads": 8,
+//     "entries": [
+//       { "name": "diameter/topo=lhg/k=3/n=16384",
+//         "params": { "topo": "lhg", "k": 3, "n": 16384 },
+//         "wall_ns": 12345678 }
+//     ]
+//   }
+//
+// `scripts/bench_compare.py` consumes these files and gates CI on
+// wall-time regressions against the checked-in `bench/baseline.json`.
+// Entry names must therefore be stable across runs: derive them from
+// parameters, never from wall-clock or iteration state.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/parallel.h"
+
+namespace lhg::bench {
+
+/// One labelled benchmark parameter; numeric values are emitted as JSON
+/// numbers, everything else as strings.
+struct Param {
+  Param(std::string k, std::int64_t v)
+      : key(std::move(k)), value(static_cast<double>(v)), is_number(true) {}
+  Param(std::string k, std::int32_t v)
+      : key(std::move(k)), value(static_cast<double>(v)), is_number(true) {}
+  Param(std::string k, double v)
+      : key(std::move(k)), value(v), is_number(true) {}
+  Param(std::string k, std::string v)
+      : key(std::move(k)), text(std::move(v)) {}
+  Param(std::string k, const char* v) : key(std::move(k)), text(v) {}
+
+  std::string key;
+  std::string text;
+  double value = 0;
+  bool is_number = false;
+};
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates named measurements and serializes the report document.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)),
+        threads_(core::global_thread_count()) {}
+
+  /// Records one measurement.  `name` identifies the entry in
+  /// baseline comparisons; keep it parameter-derived and stable.
+  void add(std::string name, std::vector<Param> params,
+           std::int64_t wall_ns) {
+    entries_.push_back({std::move(name), std::move(params), wall_ns});
+  }
+
+  /// Commit identifier for the report: $LHG_GIT_SHA, else $GITHUB_SHA,
+  /// else the configure-time LHG_GIT_SHA_DEFAULT, else "unknown".
+  static std::string git_sha() {
+    if (const char* env = std::getenv("LHG_GIT_SHA")) return env;
+    if (const char* env = std::getenv("GITHUB_SHA")) return env;
+#ifdef LHG_GIT_SHA_DEFAULT
+    return LHG_GIT_SHA_DEFAULT;
+#else
+    return "unknown";
+#endif
+  }
+
+  std::string to_json() const {
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": 1,\n";
+    out << "  \"bench\": " << quoted(bench_name_) << ",\n";
+    out << "  \"git_sha\": " << quoted(git_sha()) << ",\n";
+    out << "  \"threads\": " << threads_ << ",\n";
+    out << "  \"entries\": [";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const auto& e = entries_[i];
+      out << (i == 0 ? "\n" : ",\n");
+      out << "    { \"name\": " << quoted(e.name) << ", \"params\": {";
+      for (std::size_t p = 0; p < e.params.size(); ++p) {
+        const auto& param = e.params[p];
+        out << (p == 0 ? " " : ", ") << quoted(param.key) << ": ";
+        if (param.is_number) {
+          out << format_number(param.value);
+        } else {
+          out << quoted(param.text);
+        }
+      }
+      out << (e.params.empty() ? "}" : " }");
+      out << ", \"wall_ns\": " << e.wall_ns << " }";
+    }
+    out << (entries_.empty() ? "]\n" : "\n  ]\n");
+    out << "}\n";
+    return out.str();
+  }
+
+  /// Writes the JSON document to `path`; returns false (with a message
+  /// on stderr) if the file cannot be written.
+  bool write_json(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << bench_name_ << ": cannot write " << path << '\n';
+      return false;
+    }
+    out << to_json();
+    std::cout << bench_name_ << ": wrote " << entries_.size()
+              << " entries to " << path << '\n';
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::vector<Param> params;
+    std::int64_t wall_ns = 0;
+  };
+
+  static std::string quoted(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string format_number(double v) {
+    // Integral parameters round-trip as integers.
+    if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+      return std::to_string(static_cast<std::int64_t>(v));
+    }
+    std::ostringstream s;
+    s << v;
+    return s.str();
+  }
+
+  std::string bench_name_;
+  int threads_;
+  std::vector<Entry> entries_;
+};
+
+/// Shared command-line contract for bench binaries:
+///   --json <path>   write a BenchReport JSON file
+///   --small         reduced problem sizes (CI smoke runs)
+struct BenchOptions {
+  std::string json_path;  // empty: no JSON output
+  bool small = false;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        opts.json_path = argv[++i];
+      } else if (arg == "--small") {
+        opts.small = true;
+      } else {
+        std::cerr << "usage: " << argv[0] << " [--json <path>] [--small]\n";
+        std::exit(2);
+      }
+    }
+    return opts;
+  }
+
+  /// Writes the report if `--json` was given.  Returns a process exit
+  /// code (0 ok, 1 on write failure) so main can `return` it directly.
+  int finish(const BenchReport& report) const {
+    if (json_path.empty()) return 0;
+    return report.write_json(json_path) ? 0 : 1;
+  }
+};
+
+}  // namespace lhg::bench

@@ -1,6 +1,11 @@
 // Tiny fixed-width table printer shared by the benchmark harnesses, so
 // every experiment binary emits the same aligned, grep-friendly rows
 // that EXPERIMENTS.md quotes.
+//
+// Machine-readable output rides along: report.h (re-exported here)
+// provides BenchReport/BenchOptions, so any bench that includes table.h
+// can accept `--json <path>` and emit a BENCH_<name>.json document for
+// CI's bench-smoke gate (scripts/bench_compare.py).
 
 #pragma once
 
@@ -9,6 +14,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "report.h"
 
 namespace lhg::bench {
 

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Gate benchmark wall times against a checked-in baseline.
+
+Consumes the BENCH_<name>.json documents emitted by the bench binaries'
+``--json`` flag (see bench/report.h) and compares each entry's wall_ns
+against ``bench/baseline.json``.  An entry more than ``--threshold``
+(default 25%) slower than its baseline fails the gate; faster entries
+and entries with no baseline are reported but never fail.
+
+Usage:
+    scripts/bench_compare.py [options] BENCH_*.json
+    scripts/bench_compare.py --update BENCH_*.json   # rewrite baseline
+
+Baseline format (flat, diff-friendly):
+    {
+      "schema": 1,
+      "note": "...",
+      "entries": { "<bench>/<entry name>": wall_ns, ... }
+    }
+
+Wall clocks vary across machines, so the baseline is calibrated for the
+CI runner class; regenerate it (--update on a CI artifact set) whenever
+runners or deliberate perf trade-offs change.  The threshold is loose on
+purpose: this gate exists to catch order-of-magnitude regressions (an
+accidentally serialized kernel, a quadratic slip), not 5% noise.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "bench", "baseline.json")
+
+
+def load_report(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    for key in ("bench", "entries"):
+        if key not in doc:
+            raise ValueError(f"{path}: missing '{key}' field")
+    return doc
+
+
+def flatten(reports):
+    """{'<bench>/<entry name>': wall_ns} over all report documents.
+
+    A key seen in several reports keeps its *minimum* wall time: CI runs
+    each bench more than once and gates on the best run, which filters
+    out scheduler-jitter spikes without hiding real slowdowns (a true
+    regression is slow on every run).
+    """
+    flat = {}
+    for doc in reports:
+        for entry in doc["entries"]:
+            key = f"{doc['bench']}/{entry['name']}"
+            wall_ns = int(entry["wall_ns"])
+            flat[key] = min(flat[key], wall_ns) if key in flat else wall_ns
+    return flat
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("reports", nargs="+", metavar="BENCH_JSON",
+                        help="BENCH_*.json files produced with --json")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline file (default: bench/baseline.json)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative slowdown (default 0.25 = 25%%)")
+    parser.add_argument("--min-ns", type=int, default=1_000_000,
+                        help="ignore entries whose baseline is below this "
+                             "(sub-millisecond timings are noise; default 1ms)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from these reports "
+                             "instead of comparing")
+    args = parser.parse_args()
+
+    current = flatten(load_report(p) for p in args.reports)
+
+    if args.update:
+        doc = {
+            "schema": 1,
+            "note": ("wall_ns per bench entry; regenerate with "
+                     "scripts/bench_compare.py --update BENCH_*.json"),
+            "entries": dict(sorted(current.items())),
+        }
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"baseline updated: {len(current)} entries -> {args.baseline}")
+        return 0
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)["entries"]
+
+    regressions, improvements, skipped_fast, missing = [], [], [], []
+    for key, wall_ns in sorted(current.items()):
+        base_ns = baseline.get(key)
+        if base_ns is None:
+            missing.append(key)
+            continue
+        if base_ns < args.min_ns:
+            skipped_fast.append(key)
+            continue
+        ratio = wall_ns / base_ns
+        line = f"{key}: {base_ns / 1e6:.2f}ms -> {wall_ns / 1e6:.2f}ms ({ratio:.2f}x)"
+        if ratio > 1.0 + args.threshold:
+            regressions.append(line)
+        elif ratio < 1.0 - args.threshold:
+            improvements.append(line)
+
+    stale = sorted(set(baseline) - set(current))
+
+    print(f"compared {len(current)} entries against {args.baseline} "
+          f"(threshold +{args.threshold:.0%}, min baseline {args.min_ns / 1e6:.0f}ms)")
+    if improvements:
+        print(f"\nimprovements ({len(improvements)}):")
+        for line in improvements:
+            print(f"  {line}")
+    if missing:
+        print(f"\nnew entries without baseline ({len(missing)}):")
+        for key in missing:
+            print(f"  {key}")
+    if skipped_fast:
+        print(f"\nskipped (baseline under min-ns): {len(skipped_fast)}")
+    if stale:
+        print(f"\nbaseline entries not measured this run: {len(stale)}")
+    if regressions:
+        print(f"\nREGRESSIONS ({len(regressions)}):")
+        for line in regressions:
+            print(f"  {line}")
+        print("\nbench gate: FAIL")
+        return 1
+    print("\nbench gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

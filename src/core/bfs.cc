@@ -7,11 +7,20 @@
 namespace lhg::core {
 
 std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId source) {
+  BfsScratch scratch;
+  bfs_distances_into(g, source, scratch);
+  return std::move(scratch.dist);
+}
+
+const std::vector<std::int32_t>& bfs_distances_into(const Graph& g,
+                                                    NodeId source,
+                                                    BfsScratch& scratch) {
   LHG_CHECK_RANGE(source, g.num_nodes());
-  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_nodes()),
-                                 kUnreachable);
-  std::vector<NodeId> frontier{source};
-  std::vector<NodeId> next;
+  auto& dist = scratch.dist;
+  dist.assign(static_cast<std::size_t>(g.num_nodes()), kUnreachable);
+  auto& frontier = scratch.frontier;
+  auto& next = scratch.next;
+  frontier.assign(1, source);
   dist[static_cast<std::size_t>(source)] = 0;
   std::int32_t level = 0;
   while (!frontier.empty()) {

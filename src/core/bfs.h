@@ -23,6 +23,21 @@ inline constexpr std::int32_t kUnreachable = std::numeric_limits<std::int32_t>::
 /// Unreached nodes get kUnreachable.
 std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId source);
 
+/// Reusable scratch for repeated BFS runs (frontier queues plus the
+/// distance array).  Parallel kernels keep one per worker lane / chunk
+/// so an all-source sweep allocates O(threads) buffers, not O(n).
+struct BfsScratch {
+  std::vector<std::int32_t> dist;
+  std::vector<NodeId> frontier;
+  std::vector<NodeId> next;
+};
+
+/// As `bfs_distances`, but writes into `scratch.dist` (resized to n)
+/// instead of allocating.  Returns a reference to `scratch.dist`.
+const std::vector<std::int32_t>& bfs_distances_into(const Graph& g,
+                                                    NodeId source,
+                                                    BfsScratch& scratch);
+
 /// BFS distances restricted to nodes with alive[u] == true.  `source`
 /// must be alive.  Dead nodes get kUnreachable.
 /// (Takes vector<bool> by reference — it cannot be viewed as a span.)

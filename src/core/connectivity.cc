@@ -4,9 +4,13 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include <atomic>
+#include <vector>
+
 #include "core/bfs.h"
 #include "core/check.h"
 #include "core/maxflow.h"
+#include "core/parallel.h"
 
 namespace lhg::core {
 
@@ -67,6 +71,45 @@ bool is_complete(const Graph& g) {
   return g.num_edges() == n * (n - 1) / 2;
 }
 
+/// Shared "best cut seen so far" for parallel connectivity probes.
+/// Each probe runs its maxflow with the current best as the augmentation
+/// limit: the limit only truncates values that cannot be the minimum, so
+/// the final min over all pairs is exact — and deterministic — no matter
+/// how probes interleave; the atomic is purely a pruning accelerator.
+class SharedUpperBound {
+ public:
+  explicit SharedUpperBound(std::int32_t initial) : best_(initial) {}
+
+  std::int32_t current() const { return best_.load(std::memory_order_relaxed); }
+
+  void observe(std::int32_t value) {
+    std::int32_t cur = best_.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !best_.compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<std::int32_t> best_;
+};
+
+/// Minimum of `probe(pair)` over `pairs`, with shared-bound pruning.
+/// `probe(s, t, limit)` must return min(connectivity(s, t), limit).
+template <typename Probe>
+std::int32_t min_over_pairs(const std::vector<std::pair<NodeId, NodeId>>& pairs,
+                            std::int32_t initial, Probe&& probe) {
+  SharedUpperBound best(initial);
+  parallel_for(static_cast<std::int64_t>(pairs.size()), 1,
+               [&](std::int64_t i, int) {
+                 const std::int32_t limit = best.current();
+                 if (limit <= 0) return;  // cannot get below zero
+                 const auto [s, t] = pairs[static_cast<std::size_t>(i)];
+                 best.observe(probe(s, t, limit));
+               });
+  return best.current();
+}
+
 }  // namespace
 
 std::int32_t local_edge_connectivity(const Graph& g, NodeId s, NodeId t,
@@ -89,11 +132,13 @@ std::int32_t edge_connectivity(const Graph& g, std::int32_t upper_limit) {
   if (g.num_nodes() == 1) return 0;
   if (!is_connected(g)) return 0;
   // λ(G) = min over t != s of λ(s, t) for any fixed s, and λ <= δ(G).
-  std::int32_t best = std::min(g.min_degree(), upper_limit);
-  for (NodeId t = 1; t < g.num_nodes() && best > 0; ++t) {
-    best = std::min(best, local_edge_connectivity(g, 0, t, best));
-  }
-  return best;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(static_cast<std::size_t>(g.num_nodes()) - 1);
+  for (NodeId t = 1; t < g.num_nodes(); ++t) pairs.emplace_back(0, t);
+  return min_over_pairs(pairs, std::min(g.min_degree(), upper_limit),
+                        [&g](NodeId s, NodeId t, std::int32_t limit) {
+                          return local_edge_connectivity(g, s, t, limit);
+                        });
 }
 
 std::int32_t vertex_connectivity(const Graph& g, std::int32_t upper_limit) {
@@ -109,19 +154,22 @@ std::int32_t vertex_connectivity(const Graph& g, std::int32_t upper_limit) {
   for (NodeId u = 1; u < g.num_nodes(); ++u) {
     if (g.degree(u) < g.degree(v)) v = u;
   }
-  std::int32_t best = std::min(g.degree(v), upper_limit);
-  for (NodeId w = 0; w < g.num_nodes() && best > 0; ++w) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId w = 0; w < g.num_nodes(); ++w) {
     if (w == v || g.has_edge(v, w)) continue;
-    best = std::min(best, local_vertex_connectivity(g, v, w, best));
+    pairs.emplace_back(v, w);
   }
   const auto nbrs = g.neighbors(v);
-  for (std::size_t i = 0; i < nbrs.size() && best > 0; ++i) {
-    for (std::size_t j = i + 1; j < nbrs.size() && best > 0; ++j) {
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
       if (g.has_edge(nbrs[i], nbrs[j])) continue;
-      best = std::min(best, local_vertex_connectivity(g, nbrs[i], nbrs[j], best));
+      pairs.emplace_back(nbrs[i], nbrs[j]);
     }
   }
-  return best;
+  return min_over_pairs(pairs, std::min(g.degree(v), upper_limit),
+                        [&g](NodeId s, NodeId t, std::int32_t limit) {
+                          return local_vertex_connectivity(g, s, t, limit);
+                        });
 }
 
 bool is_k_vertex_connected(const Graph& g, std::int32_t k) {

@@ -5,6 +5,7 @@
 
 #include "core/bfs.h"
 #include "core/check.h"
+#include "core/parallel.h"
 
 namespace lhg::core {
 
@@ -29,15 +30,28 @@ std::pair<std::int32_t, NodeId> farthest(const std::vector<std::int32_t>& dist) 
   return {best, arg};
 }
 
+/// Sources per chunk in all-source sweeps: large enough to amortize the
+/// per-chunk scratch allocation, small enough to load-balance.
+constexpr std::int64_t kSourceGrain = 16;
+
 }  // namespace
 
 std::int32_t diameter_apsp(const Graph& g) {
   require_connected(g);
-  std::int32_t best = 0;
-  for (NodeId s = 0; s < g.num_nodes(); ++s) {
-    best = std::max(best, farthest(bfs_distances(g, s)).first);
-  }
-  return best;
+  return parallel_reduce<std::int32_t>(
+      g.num_nodes(), kSourceGrain, 0,
+      [&g](std::int64_t begin, std::int64_t end, int) {
+        BfsScratch scratch;
+        std::int32_t best = 0;
+        for (std::int64_t s = begin; s < end; ++s) {
+          best = std::max(
+              best,
+              farthest(bfs_distances_into(g, static_cast<NodeId>(s), scratch))
+                  .first);
+        }
+        return best;
+      },
+      [](std::int32_t a, std::int32_t b) { return std::max(a, b); });
 }
 
 std::int32_t diameter(const Graph& g) {
@@ -64,13 +78,48 @@ std::int32_t diameter(const Graph& g) {
   });
 
   std::int32_t lb = std::max(lower, ecc_mid);
-  std::int32_t ub = 2 * ecc_mid;
-  for (NodeId u : order) {
-    const std::int32_t level = levels[static_cast<std::size_t>(u)];
-    if (lb >= 2 * level) break;  // no deeper node can beat the bound
+  const std::int32_t ub = 2 * ecc_mid;
+  const int threads = global_thread_count();
+  if (threads == 1) {
+    for (NodeId u : order) {
+      const std::int32_t level = levels[static_cast<std::size_t>(u)];
+      if (lb >= 2 * level) break;  // no deeper node can beat the bound
+      if (ub <= lb) break;
+      const auto du = bfs_distances(g, u);
+      lb = std::max(lb, farthest(du).first);
+    }
+    return lb;
+  }
+
+  // Parallel iFUB: examine nodes in the same decreasing-level order,
+  // but one batch of BFS sources at a time.  The break condition is
+  // re-evaluated only at batch heads, so a batch may run up to B-1
+  // sources the serial loop would have skipped — harmless for the
+  // *value*, because the iFUB bound guarantees those extra sources
+  // cannot raise `lb` past the already-certified diameter (all nodes at
+  // level <= l are pairwise within distance 2l <= lb).
+  const std::int64_t batch = static_cast<std::int64_t>(threads) * 4;
+  std::vector<std::int32_t> batch_ecc;
+  std::size_t pos = 0;
+  while (pos < order.size()) {
+    const std::int32_t level = levels[static_cast<std::size_t>(order[pos])];
+    if (lb >= 2 * level) break;
     if (ub <= lb) break;
-    const auto du = bfs_distances(g, u);
-    lb = std::max(lb, farthest(du).first);
+    const std::size_t end =
+        std::min(order.size(), pos + static_cast<std::size_t>(batch));
+    batch_ecc.assign(end - pos, 0);
+    parallel_for_chunks(
+        static_cast<std::int64_t>(end - pos), 1,
+        [&](std::int64_t begin, std::int64_t chunk_end, int) {
+          BfsScratch scratch;
+          for (std::int64_t i = begin; i < chunk_end; ++i) {
+            const NodeId u = order[pos + static_cast<std::size_t>(i)];
+            batch_ecc[static_cast<std::size_t>(i)] =
+                farthest(bfs_distances_into(g, u, scratch)).first;
+          }
+        });
+    for (const std::int32_t ecc : batch_ecc) lb = std::max(lb, ecc);
+    pos = end;
   }
   return lb;
 }
@@ -79,22 +128,44 @@ double average_path_length(const Graph& g) {
   require_connected(g);
   LHG_CHECK(g.num_nodes() >= 2, "average path length needs n >= 2, got {}",
             g.num_nodes());
-  long double total = 0;
-  for (NodeId s = 0; s < g.num_nodes(); ++s) {
-    const auto dist = bfs_distances(g, s);
-    for (std::int32_t d : dist) total += d;
-  }
+  // Distances are exact int32s, so per-chunk int64 partials summed in
+  // chunk order give the same total as the serial loop at every thread
+  // count (no floating-point reassociation).
+  const std::int64_t total = parallel_reduce<std::int64_t>(
+      g.num_nodes(), kSourceGrain, std::int64_t{0},
+      [&g](std::int64_t begin, std::int64_t end, int) {
+        BfsScratch scratch;
+        std::int64_t sum = 0;
+        for (std::int64_t s = begin; s < end; ++s) {
+          for (const std::int32_t d :
+               bfs_distances_into(g, static_cast<NodeId>(s), scratch)) {
+            sum += d;
+          }
+        }
+        return sum;
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
   const long double pairs =
       static_cast<long double>(g.num_nodes()) * (g.num_nodes() - 1);
-  return static_cast<double>(total / pairs);
+  return static_cast<double>(static_cast<long double>(total) / pairs);
 }
 
 std::int32_t radius(const Graph& g) {
   require_connected(g);
-  std::int32_t best = kUnreachable;
-  for (NodeId s = 0; s < g.num_nodes(); ++s) {
-    best = std::min(best, farthest(bfs_distances(g, s)).first);
-  }
+  const std::int32_t best = parallel_reduce<std::int32_t>(
+      g.num_nodes(), kSourceGrain, kUnreachable,
+      [&g](std::int64_t begin, std::int64_t end, int) {
+        BfsScratch scratch;
+        std::int32_t chunk_best = kUnreachable;
+        for (std::int64_t s = begin; s < end; ++s) {
+          chunk_best = std::min(
+              chunk_best,
+              farthest(bfs_distances_into(g, static_cast<NodeId>(s), scratch))
+                  .first);
+        }
+        return chunk_best;
+      },
+      [](std::int32_t a, std::int32_t b) { return std::min(a, b); });
   return best == kUnreachable ? 0 : best;
 }
 

@@ -1,0 +1,125 @@
+#include "core/parallel.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/check.h"
+
+namespace lhg::core {
+
+namespace detail {
+
+namespace {
+thread_local bool t_in_parallel_region = false;
+}  // namespace
+
+bool in_parallel_region() { return t_in_parallel_region; }
+
+ScopedParallelRegion::ScopedParallelRegion() { t_in_parallel_region = true; }
+ScopedParallelRegion::~ScopedParallelRegion() { t_in_parallel_region = false; }
+
+}  // namespace detail
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int lanes = std::max(num_threads, 1);
+  workers_.reserve(static_cast<std::size_t>(lanes - 1));
+  for (int lane = 1; lane < lanes; ++lane) {
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> hold(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(int lane) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> hold(mu_);
+      work_cv_.wait(hold,
+                    [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      body = body_;
+    }
+    (*body)(lane);
+    {
+      const std::lock_guard<std::mutex> hold(mu_);
+      if (--unfinished_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(const std::function<void(int)>& body) {
+  if (workers_.empty()) {
+    body(0);
+    return;
+  }
+  const std::lock_guard<std::mutex> serialize(run_mu_);
+  {
+    const std::lock_guard<std::mutex> hold(mu_);
+    body_ = &body;
+    unfinished_ = static_cast<int>(workers_.size());
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  body(0);
+  {
+    std::unique_lock<std::mutex> hold(mu_);
+    done_cv_.wait(hold, [&] { return unfinished_ == 0; });
+    body_ = nullptr;
+  }
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+int ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("LHG_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0 && parsed <= 1024) {
+      return static_cast<int>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& ThreadPool::global() {
+  const std::lock_guard<std::mutex> hold(g_pool_mu);
+  auto& slot = global_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>(default_thread_count());
+  return *slot;
+}
+
+void set_global_thread_count(int num_threads) {
+  LHG_CHECK(num_threads > 0, "thread count must be positive, got {}",
+            num_threads);
+  LHG_CHECK(!detail::in_parallel_region(),
+            "cannot resize the pool from inside a parallel region");
+  const std::lock_guard<std::mutex> hold(g_pool_mu);
+  auto& slot = global_pool_slot();
+  slot.reset();  // join the old workers before starting new ones
+  slot = std::make_unique<ThreadPool>(num_threads);
+}
+
+int global_thread_count() { return ThreadPool::global().num_threads(); }
+
+}  // namespace lhg::core

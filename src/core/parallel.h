@@ -1,0 +1,209 @@
+// Parallel execution engine: a fixed-size thread pool plus
+// `parallel_for` / `parallel_reduce` building blocks for the hot
+// kernels (all-source BFS sweeps, subset enumeration, per-pair maxflow,
+// Monte-Carlo trial loops).
+//
+// Design constraints, in priority order:
+//
+//   1. *Determinism.*  Every kernel built on this engine must return
+//      the same value at every thread count.  `parallel_reduce`
+//      guarantees it structurally: chunk partials are stored in a
+//      chunk-indexed array and combined serially in chunk order, so the
+//      result depends only on the chunking (n, grain), never on which
+//      worker ran which chunk or in what order chunks finished.
+//   2. *Serial fallback.*  With one thread (`LHG_THREADS=1`, a
+//      single-core host, or a nested region) the body runs inline on
+//      the calling thread as ONE chunk [0, n) — the exact loop the
+//      serial code always ran, bit-identical results included.
+//   3. *No work stealing, no task graph.*  One in-flight region at a
+//      time; chunks are handed out from an atomic counter (dynamic
+//      scheduling for load balance, which is safe because of rule 1).
+//
+// Scratch-buffer ownership: the body receives a `lane` index in
+// [0, num_threads).  Exactly one OS thread runs a given lane during a
+// region, so per-lane scratch (BFS distance arrays, flow networks) is
+// race-free.  Chunk-local scratch (declared inside the body) is equally
+// safe and is what most kernels use.
+//
+// RNG: stochastic kernels must NOT hand one generator to many lanes.
+// Derive an independent stream per *trial* (not per thread) with
+// `Rng::stream(seed, trial)`; results are then invariant to both the
+// thread count and the chunk schedule.
+//
+// Exceptions thrown by the body (including ContractViolation from a
+// failed LHG_CHECK under the throwing handler) are captured and
+// rethrown on the calling thread.  When several chunks throw, the one
+// with the lowest chunk index wins — again a deterministic choice.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lhg::core {
+
+/// Fixed-size pool of `num_threads - 1` worker threads; the calling
+/// thread participates as lane 0, so `ThreadPool(1)` owns no threads
+/// and `run()` degenerates to an inline call.
+class ThreadPool {
+ public:
+  /// Starts `num_threads - 1` workers (clamped to at least one lane).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers.  Must not race with an active `run()`.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (workers + the calling thread).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Executes `body(lane)` once on every lane and returns when all
+  /// lanes have finished.  Concurrent callers are serialized.  `body`
+  /// must not call `run()` on the same pool (the `parallel_*` wrappers
+  /// guard against this by running nested regions inline).
+  void run(const std::function<void(int)>& body);
+
+  /// The process-wide pool used by `parallel_for` / `parallel_reduce`.
+  /// Created on first use with `default_thread_count()` lanes.
+  static ThreadPool& global();
+
+  /// Thread count the global pool is created with: the `LHG_THREADS`
+  /// environment variable if set to a positive integer, otherwise
+  /// `std::thread::hardware_concurrency()` (at least 1).
+  static int default_thread_count();
+
+ private:
+  void worker_loop(int lane);
+
+  std::vector<std::thread> workers_;
+  std::mutex run_mu_;  // serializes callers of run()
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* body_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  int unfinished_ = 0;
+  bool stop_ = false;
+};
+
+/// Replaces the global pool with one of `num_threads` lanes (joining
+/// the previous workers).  Main-thread only; must not race with any
+/// in-flight parallel region.  Intended for tests and tools that need
+/// to compare thread counts within one process; production code should
+/// rely on `LHG_THREADS`.
+void set_global_thread_count(int num_threads);
+
+/// Lane count of the global pool (creating it if needed).
+int global_thread_count();
+
+namespace detail {
+
+/// True while the current thread executes inside a parallel region;
+/// nested `parallel_*` calls then run inline (serially).
+bool in_parallel_region();
+
+class ScopedParallelRegion {
+ public:
+  ScopedParallelRegion();
+  ~ScopedParallelRegion();
+  ScopedParallelRegion(const ScopedParallelRegion&) = delete;
+  ScopedParallelRegion& operator=(const ScopedParallelRegion&) = delete;
+};
+
+}  // namespace detail
+
+/// Runs `fn(begin, end, lane)` over disjoint chunks covering [0, n),
+/// each at most `grain` long (grain < 1 is treated as 1).  With one
+/// thread — or when called from inside another parallel region — the
+/// whole range is one inline chunk, reproducing the serial loop
+/// exactly.  Chunks are dynamically scheduled; `fn` must therefore not
+/// depend on chunk→lane assignment for its *results* (lane may only
+/// select scratch storage).
+template <typename Fn>
+void parallel_for_chunks(std::int64_t n, std::int64_t grain, Fn&& fn) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  ThreadPool& pool = ThreadPool::global();
+  const std::int64_t num_chunks = (n + grain - 1) / grain;
+  if (pool.num_threads() == 1 || num_chunks == 1 ||
+      detail::in_parallel_region()) {
+    fn(std::int64_t{0}, n, 0);
+    return;
+  }
+
+  std::atomic<std::int64_t> next{0};
+  std::mutex err_mu;
+  std::int64_t err_chunk = -1;
+  std::exception_ptr err;
+  pool.run([&](int lane) {
+    detail::ScopedParallelRegion region;
+    for (;;) {
+      const std::int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      try {
+        fn(c * grain, std::min(n, (c + 1) * grain), lane);
+      } catch (...) {
+        const std::lock_guard<std::mutex> hold(err_mu);
+        if (err_chunk < 0 || c < err_chunk) {
+          err_chunk = c;
+          err = std::current_exception();
+        }
+      }
+    }
+  });
+  if (err) std::rethrow_exception(err);
+}
+
+/// Element-wise convenience wrapper: `fn(i, lane)` for i in [0, n).
+template <typename Fn>
+void parallel_for(std::int64_t n, std::int64_t grain, Fn&& fn) {
+  parallel_for_chunks(n, grain,
+                      [&fn](std::int64_t begin, std::int64_t end, int lane) {
+                        for (std::int64_t i = begin; i < end; ++i) {
+                          fn(i, lane);
+                        }
+                      });
+}
+
+/// Deterministic reduction: `map(begin, end, lane)` produces one
+/// partial per chunk; partials are combined with
+/// `combine(accumulator, partial)` serially, in increasing chunk order,
+/// starting from `init`.  With one thread this is exactly
+/// `combine(init, map(0, n, 0))` — the legacy serial loop.  For the
+/// result to be identical at every thread count, `combine` must be
+/// associative over the partials (all in-tree uses combine exact
+/// integers, min or max, which are).
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::int64_t n, std::int64_t grain, T init, Map&& map,
+                  Combine&& combine) {
+  if (n <= 0) return init;
+  if (grain < 1) grain = 1;
+  ThreadPool& pool = ThreadPool::global();
+  const std::int64_t num_chunks = (n + grain - 1) / grain;
+  if (pool.num_threads() == 1 || num_chunks == 1 ||
+      detail::in_parallel_region()) {
+    return combine(std::move(init), map(std::int64_t{0}, n, 0));
+  }
+
+  std::vector<T> partial(static_cast<std::size_t>(num_chunks));
+  parallel_for_chunks(n, grain,
+                      [&](std::int64_t begin, std::int64_t end, int lane) {
+                        partial[static_cast<std::size_t>(begin / grain)] =
+                            map(begin, end, lane);
+                      });
+  T acc = std::move(init);
+  for (auto& p : partial) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+}  // namespace lhg::core

@@ -91,6 +91,16 @@ class Rng {
   /// Derives an independent child generator (for per-trial streams).
   Rng split() { return Rng((*this)() ^ 0x9e3779b97f4a7c15ULL); }
 
+  /// Stateless stream derivation: an independent generator for stream
+  /// `index` under `seed`.  Parallel trial loops give trial t the
+  /// generator `Rng::stream(seed, t)` so results are invariant to both
+  /// the thread count and the chunk schedule (see core/parallel.h).
+  static Rng stream(std::uint64_t seed, std::uint64_t index) {
+    std::uint64_t state = seed ^ (index * 0x9e3779b97f4a7c15ULL);
+    const std::uint64_t mixed = splitmix64(state);
+    return Rng(mixed ^ splitmix64(state));
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int s) {
     return (x << s) | (x >> (64 - s));
