@@ -10,48 +10,104 @@
 // the price of keeping the diameter logarithmic and the degree uniform.
 // K-DIAMOND shows smaller spikes than K-TREE (unshared groups absorb
 // growth without reshaping the tree).
+//
+// Each constraint's growth trajectory is sequential by nature, but the
+// trajectories are independent of each other, so they run as parallel
+// trials under flooding::TrialRunner.
 
 #include <algorithm>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "flooding/trial_runner.h"
 #include "membership/membership.h"
+#include "report.h"
 #include "table.h"
 
-int main() {
+namespace {
+
+struct Row {
+  lhg::Constraint constraint;
+  std::int64_t joins = 0;
+  double mean = 0;
+  std::int64_t median = 0;
+  std::int64_t p95 = 0;
+  std::int64_t max = 0;
+  std::int32_t final_n = 0;
+  std::int64_t final_edges = 0;
+  std::int64_t wall_ns = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace lhg;
   using membership::Overlay;
 
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::BenchReport report("bench_churn");
+
   const std::int32_t k = 4;
-  std::cout << "E11: edge rewires per single-node join, k = " << k << "\n";
+  const std::int32_t target = opts.small ? 300 : 600;
+  std::cout << "E11: edge rewires per single-node join, k = " << k
+            << ", growth to n = " << target << "  [threads="
+            << core::global_thread_count() << "]\n";
   bench::Table table({"constraint", "n_range", "joins", "mean_churn",
                       "median", "p95", "max", "edges_final"},
                      12);
   table.print_header();
 
-  for (const auto constraint :
-       {Constraint::kKTree, Constraint::kKDiamond}) {
-    Overlay overlay(2 * k, k, constraint);
-    std::vector<std::int64_t> costs;
-    while (overlay.size() < 600) {
-      if (!overlay.can_grow()) {  // strict-JD gaps (not hit for these two)
-        overlay.resize(overlay.size() + 2);
-        continue;
-      }
-      costs.push_back(overlay.add_node().total());
-    }
-    auto sorted = costs;
-    std::sort(sorted.begin(), sorted.end());
-    double mean = 0;
-    for (auto c : costs) mean += static_cast<double>(c);
-    mean /= static_cast<double>(costs.size());
+  const std::vector<Constraint> constraints = {Constraint::kKTree,
+                                               Constraint::kKDiamond};
+  const flooding::TrialRunner runner{.seed = 1};
+  const auto rows = runner.run<std::vector<Row>>(
+      static_cast<std::int64_t>(constraints.size()), {},
+      [&](std::int64_t t, core::Rng&) {
+        const bench::WallTimer timer;
+        const auto constraint = constraints[static_cast<std::size_t>(t)];
+        Overlay overlay(2 * k, k, constraint);
+        std::vector<std::int64_t> costs;
+        while (overlay.size() < target) {
+          if (!overlay.can_grow()) {  // strict-JD gaps (not hit here)
+            overlay.resize(overlay.size() + 2);
+            continue;
+          }
+          costs.push_back(overlay.add_node().total());
+        }
+        auto sorted = costs;
+        std::sort(sorted.begin(), sorted.end());
+        Row row;
+        row.constraint = constraint;
+        row.joins = static_cast<std::int64_t>(costs.size());
+        for (auto c : costs) row.mean += static_cast<double>(c);
+        row.mean /= static_cast<double>(costs.size());
+        row.median = sorted[sorted.size() / 2];
+        row.p95 = sorted[sorted.size() * 95 / 100];
+        row.max = sorted.back();
+        row.final_n = overlay.size();
+        row.final_edges = overlay.graph().num_edges();
+        row.wall_ns = timer.elapsed_ns();
+        return std::vector<Row>{row};
+      },
+      [](std::vector<Row> a, const std::vector<Row>& b) {
+        a.insert(a.end(), b.begin(), b.end());
+        return a;
+      });
+
+  for (const Row& row : rows) {
+    report.add(std::string("churn/constraint=") + to_string(row.constraint) +
+                   "/n=" + std::to_string(target),
+               {{"constraint", to_string(row.constraint)},
+                {"n", target},
+                {"joins", row.joins}},
+               row.wall_ns);
     table.print_row(
-        to_string(constraint),
-        std::to_string(2 * k) + ".." + std::to_string(overlay.size()),
-        costs.size(), mean, sorted[sorted.size() / 2],
-        sorted[sorted.size() * 95 / 100], sorted.back(),
-        overlay.graph().num_edges());
+        to_string(row.constraint),
+        std::to_string(2 * k) + ".." + std::to_string(row.final_n),
+        row.joins, row.mean, row.median, row.p95, row.max, row.final_edges);
   }
   std::cout << "\nshape check: median churn stays O(k); max spikes at "
                "tree-level boundaries; k-diamond spikes lower than k-tree\n";
-  return 0;
+  return opts.finish(report);
 }

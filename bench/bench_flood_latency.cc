@@ -1,4 +1,5 @@
-// E4 — "flooding latency, failure-free" figure.
+// E4 — "flooding latency, failure-free" figure, plus the event-engine
+// throughput gate.
 //
 // Claim: a flood over an LHG completes in O(log n) hop-rounds while the
 // same protocol over the circulant Harary graph needs Θ(n/k) rounds; a
@@ -6,29 +7,101 @@
 // have logarithmic diameter w.h.p. but no deterministic guarantee).
 //
 // Expected shape: the harary column grows linearly in n; lhg and
-// random-k-regular grow by an additive constant per doubling, with lhg
-// deterministic (identical across seeds) and random varying slightly.
+// random-k-regular grow by an additive constant per doubling.
+//
+// Each row runs `trials` independent floods (rotating the source) fanned
+// across core::parallel by flooding::TrialRunner; the timed region is the
+// whole trial sweep, and the JSON entry carries the total simulator
+// events so `events / wall_ns` tracks raw event-engine throughput.  Run
+// with LHG_THREADS=1 to measure the single-thread engine itself.
 
+#include <algorithm>
 #include <iostream>
+#include <string>
 
 #include "core/random_graphs.h"
 #include "flooding/protocols.h"
+#include "flooding/trial_runner.h"
 #include "harary/harary.h"
 #include "lhg/lhg.h"
+#include "report.h"
 #include "table.h"
 
-int main() {
+namespace {
+
+struct Agg {
+  std::int64_t events = 0;
+  std::int64_t messages = 0;
+  std::int32_t max_hops = 0;
+  double total_time = 0;
+  std::int32_t incomplete = 0;
+
+  static Agg merge(Agg a, const Agg& b) {
+    a.events += b.events;
+    a.messages += b.messages;
+    a.max_hops = std::max(a.max_hops, b.max_hops);
+    a.total_time += b.total_time;
+    a.incomplete += b.incomplete;
+    return a;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace lhg;
   using flooding::flood;
 
-  std::cout << "E4: failure-free flood completion (hop-rounds), source 0\n";
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::BenchReport report("bench_flood_latency");
+
+  const int trials = opts.small ? 32 : 64;
+  const core::NodeId max_n = opts.small ? 1024 : 8192;
+  std::cout << "E4: failure-free flood completion (hop-rounds), " << trials
+            << " rotating-source trials per row  [threads="
+            << core::global_thread_count() << "]\n";
   bench::Table table({"k", "n", "lhg_rounds", "harary_rounds", "randreg_rounds",
-                      "lhg_msgs", "harary_msgs"},
+                      "lhg_msgs", "harary_msgs", "lhg_Mev/s"},
                      15);
   table.print_header();
 
+  const auto sweep = [&](const core::Graph& g, const char* topo,
+                         std::int32_t k, core::NodeId n) {
+    const flooding::TrialRunner runner{
+        .seed = static_cast<std::uint64_t>(n) * 131 +
+                static_cast<std::uint64_t>(k)};
+    const bench::WallTimer timer;
+    const Agg agg = runner.run<Agg>(
+        trials, Agg{},
+        [&](std::int64_t t, core::Rng& rng) {
+          const auto source = static_cast<core::NodeId>(
+              t % static_cast<std::int64_t>(g.num_nodes()));
+          const auto result = flood(g, {.source = source, .seed = rng()});
+          Agg one;
+          one.events = result.events_processed;
+          one.messages = result.messages_sent;
+          one.max_hops = result.completion_hops;
+          one.total_time = result.completion_time;
+          one.incomplete = result.all_alive_delivered() ? 0 : 1;
+          return one;
+        },
+        Agg::merge);
+    const std::int64_t wall_ns = timer.elapsed_ns();
+    report.add(std::string("flood/topo=") + topo + "/k=" + std::to_string(k) +
+                   "/n=" + std::to_string(n),
+               {{"topo", topo},
+                {"k", k},
+                {"n", n},
+                {"trials", trials},
+                {"events", agg.events},
+                {"messages", agg.messages},
+                {"incomplete", agg.incomplete}},
+               wall_ns);
+    return std::pair<Agg, std::int64_t>(agg, wall_ns);
+  };
+
   for (const std::int32_t k : {3, 4, 6}) {
-    for (core::NodeId n = 64; n <= 8192; n *= 2) {
+    for (core::NodeId n = 64; n <= max_n; n *= 2) {
       const auto lhg_graph = build(n, k);
       const auto harary_graph = harary::circulant(n, k);
       core::Rng rng(static_cast<std::uint64_t>(n) * 31 +
@@ -38,18 +111,20 @@ int main() {
               ? core::random_regular_connected(n, k, rng)
               : core::random_regular_connected(n + 1, k, rng);
 
-      const auto lhg_result = flood(lhg_graph, {.source = 0});
-      const auto harary_result = flood(harary_graph, {.source = 0});
-      const auto random_result = flood(random_graph, {.source = 0});
+      const auto [lhg_agg, lhg_ns] = sweep(lhg_graph, "lhg", k, n);
+      const auto [harary_agg, harary_ns] = sweep(harary_graph, "harary", k, n);
+      const auto [random_agg, random_ns] = sweep(random_graph, "randreg", k, n);
 
-      table.print_row(k, n, lhg_result.completion_hops,
-                      harary_result.completion_hops,
-                      random_result.completion_hops,
-                      lhg_result.messages_sent, harary_result.messages_sent);
+      table.print_row(k, n, lhg_agg.max_hops, harary_agg.max_hops,
+                      random_agg.max_hops, lhg_agg.messages / trials,
+                      harary_agg.messages / trials,
+                      1e3 * static_cast<double>(lhg_agg.events) /
+                          static_cast<double>(lhg_ns));
     }
     std::cout << '\n';
   }
   std::cout << "shape check: harary_rounds ~ n/k; lhg_rounds ~ 2*log_{k-1}(n); "
-               "message counts comparable (~= 2m - n + 1)\n";
-  return 0;
+               "message counts comparable (~= 2m - n + 1); incomplete == 0 "
+               "everywhere\n";
+  return opts.finish(report);
 }

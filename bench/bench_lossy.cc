@@ -10,73 +10,103 @@
 // redundancy of k disjoint paths shields it at low loss); reliable
 // broadcast holds 1.00 delivery at ~2-4x message cost and latency that
 // grows with the retransmit interval.
+//
+// Per-seed trials are independent and fan across core::parallel via
+// flooding::TrialRunner; LHG_THREADS controls the lane count.
 
 #include <algorithm>
 #include <iostream>
+#include <string>
 
 #include "flooding/protocols.h"
 #include "flooding/reliable_broadcast.h"
+#include "flooding/trial_runner.h"
 #include "lhg/lhg.h"
+#include "report.h"
 #include "table.h"
 
-int main() {
+namespace {
+
+struct Agg {
+  double deliv = 0;
+  double min_deliv = 1.0;
+  int complete = 0;
+  double msgs = 0;
+  double time = 0;
+
+  static Agg merge(Agg a, const Agg& b) {
+    a.deliv += b.deliv;
+    a.min_deliv = std::min(a.min_deliv, b.min_deliv);
+    a.complete += b.complete;
+    a.msgs += b.msgs;
+    a.time += b.time;
+    return a;
+  }
+};
+
+Agg account(const lhg::flooding::ReliableBroadcastResult& result) {
+  Agg one;
+  one.deliv = result.delivery_ratio();
+  one.min_deliv = result.delivery_ratio();
+  one.complete = result.all_alive_delivered() ? 1 : 0;
+  one.msgs = static_cast<double>(result.messages_sent);
+  one.time = result.completion_time;
+  return one;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace lhg;
   using namespace lhg::flooding;
 
-  constexpr int kTrials = 30;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::BenchReport report("bench_lossy");
+
+  const int trials = opts.small ? 12 : 30;
   const std::int32_t k = 3;
   const core::NodeId n = 244;
   const auto g = build(n, k);
   std::cout << "E13: loss sweep on a (" << n << ", " << k << ") LHG, "
-            << kTrials << " seeds per row\n";
+            << trials << " seeds per row  [threads="
+            << core::global_thread_count() << "]\n";
   bench::Table table({"loss", "protocol", "mean_deliv", "min_deliv",
                       "complete%", "msgs/node", "mean_time"},
                      12);
   table.print_header();
 
   for (const double loss : {0.0, 0.05, 0.1, 0.2, 0.3, 0.4}) {
-    double flood_deliv = 0;
-    double flood_min = 1.0;
-    int flood_complete = 0;
-    double flood_msgs = 0;
-    double flood_time = 0;
-    double rb_deliv = 0;
-    double rb_min = 1.0;
-    int rb_complete = 0;
-    double rb_msgs = 0;
-    double rb_time = 0;
-
-    for (int t = 0; t < kTrials; ++t) {
-      const auto seed = static_cast<std::uint64_t>(t) * 7919 + 3;
-      // Plain flooding on a lossy network: run it through the reliable
-      // machinery with a zero retry budget (identical wire behaviour).
-      const auto plain = reliable_broadcast(
-          g, {.source = 0, .seed = seed, .loss_probability = loss,
-              .max_retries = 0});
-      flood_deliv += plain.delivery_ratio();
-      flood_min = std::min(flood_min, plain.delivery_ratio());
-      flood_complete += plain.all_alive_delivered() ? 1 : 0;
-      flood_msgs += static_cast<double>(plain.messages_sent);
-      flood_time += plain.completion_time;
-
-      const auto reliable = reliable_broadcast(
-          g, {.source = 0, .seed = seed, .loss_probability = loss,
-              .retransmit_interval = 3.0, .max_retries = 8});
-      rb_deliv += reliable.delivery_ratio();
-      rb_min = std::min(rb_min, reliable.delivery_ratio());
-      rb_complete += reliable.all_alive_delivered() ? 1 : 0;
-      rb_msgs += static_cast<double>(reliable.messages_sent);
-      rb_time += reliable.completion_time;
-    }
-    table.print_row(loss, "flood", flood_deliv / kTrials, flood_min,
-                    100.0 * flood_complete / kTrials, flood_msgs / kTrials / n,
-                    flood_time / kTrials);
-    table.print_row(loss, "reliable", rb_deliv / kTrials, rb_min,
-                    100.0 * rb_complete / kTrials, rb_msgs / kTrials / n,
-                    rb_time / kTrials);
+    const TrialRunner runner{
+        .seed = 5 + static_cast<std::uint64_t>(loss * 1000)};
+    const auto sweep = [&](const char* proto, std::int32_t max_retries) {
+      const bench::WallTimer timer;
+      const Agg agg = runner.run<Agg>(
+          trials, Agg{},
+          [&](std::int64_t, core::Rng& rng) {
+            // max_retries = 0 is plain flooding on the lossy wire;
+            // the reliable machinery adds ACKs + retransmissions.
+            return account(reliable_broadcast(
+                g, {.source = 0, .seed = rng(), .loss_probability = loss,
+                    .retransmit_interval = 3.0, .max_retries = max_retries}));
+          },
+          Agg::merge);
+      const std::int64_t wall_ns = timer.elapsed_ns();
+      report.add(std::string("lossy/proto=") + proto +
+                     "/loss=" + std::to_string(static_cast<int>(loss * 100)),
+                 {{"proto", proto},
+                  {"loss", loss},
+                  {"trials", trials},
+                  {"complete", agg.complete}},
+                 wall_ns);
+      table.print_row(loss, proto, agg.deliv / trials, agg.min_deliv,
+                      100.0 * agg.complete / trials, agg.msgs / trials / n,
+                      agg.time / trials);
+    };
+    sweep("flood", 0);
+    sweep("reliable", 8);
     std::cout << '\n';
   }
   std::cout << "shape check: flood complete% decays with loss; reliable "
                "stays 100 at bounded extra msgs\n";
-  return 0;
+  return opts.finish(report);
 }

@@ -9,23 +9,62 @@
 // Expected shape, with f = k−1 crashes: flood delivery 1.00 at ~k·n
 // messages; gossip needs several times more messages to approach 1.00
 // and still misses nodes occasionally; tree delivery visibly < 1.00.
+//
+// Trials are independent (one crash plan + protocol seed each) and fan
+// across core::parallel via flooding::TrialRunner; LHG_THREADS controls
+// the lane count.
 
 #include <algorithm>
 #include <iostream>
+#include <string>
 
 #include "flooding/failure.h"
 #include "flooding/protocols.h"
+#include "flooding/trial_runner.h"
 #include "lhg/lhg.h"
+#include "report.h"
 #include "table.h"
 
-int main() {
+namespace {
+
+struct Agg {
+  double msgs = 0;
+  double deliv = 0;
+  double min_deliv = 1.0;
+  int complete = 0;
+
+  static Agg merge(Agg a, const Agg& b) {
+    a.msgs += b.msgs;
+    a.deliv += b.deliv;
+    a.min_deliv = std::min(a.min_deliv, b.min_deliv);
+    a.complete += b.complete;
+    return a;
+  }
+};
+
+Agg account(const lhg::flooding::DisseminationResult& result) {
+  Agg one;
+  one.msgs = static_cast<double>(result.messages_sent);
+  one.deliv = result.delivery_ratio();
+  one.min_deliv = result.delivery_ratio();
+  one.complete = result.all_alive_delivered() ? 1 : 0;
+  return one;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace lhg;
   using namespace lhg::flooding;
 
-  constexpr int kTrials = 50;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::BenchReport report("bench_messages");
+
+  const int trials = opts.small ? 20 : 50;
   const std::int32_t k = 4;
   std::cout << "E6: message cost vs delivery, f = k-1 = 3 random crashes, "
-            << kTrials << " trials per row\n";
+            << trials << " trials per row  [threads="
+            << core::global_thread_count() << "]\n";
   bench::Table table({"n", "protocol", "mean_msgs", "mean_deliv", "min_deliv",
                       "complete%"},
                      13);
@@ -36,52 +75,62 @@ int main() {
         regular_exists(n, k) ? n
                              : n + (2 * (k - 1) - (n - 2 * k) % (2 * (k - 1))));
     const auto g = build(size, k);
+    const TrialRunner runner{.seed = static_cast<std::uint64_t>(n) * 41 + 11};
 
-    struct Run {
+    struct Proto {
       const char* name;
-      double msgs = 0;
-      double deliv = 0;
-      double min_deliv = 1.0;
-      int complete = 0;
+      Agg agg;
+      std::int64_t wall_ns = 0;
     };
-    Run flood_run{"flood"};
-    Run gossip_run{"gossip_f4"};
-    Run gossip_big{"gossip_f8"};
-    Run gossip_pp{"pushpull_f2"};
-    Run tree_run{"tree"};
+    Proto protos[] = {{"flood", {}}, {"gossip_f4", {}}, {"gossip_f8", {}},
+                      {"pushpull_f2", {}}, {"tree", {}}};
 
-    core::Rng rng(static_cast<std::uint64_t>(n));
-    for (int t = 0; t < kTrials; ++t) {
-      const auto plan = random_crashes(g, k - 1, 0, rng);
-      const auto seed = static_cast<std::uint64_t>(t) * 977 + 7;
+    const auto sweep = [&](Proto& proto, auto&& one_trial) {
+      const bench::WallTimer timer;
+      proto.agg = runner.run<Agg>(
+          trials, Agg{},
+          [&](std::int64_t, core::Rng& rng) {
+            const auto plan = random_crashes(g, k - 1, 0, rng);
+            return account(one_trial(rng(), plan));
+          },
+          Agg::merge);
+      proto.wall_ns = timer.elapsed_ns();
+      report.add(std::string("messages/proto=") + proto.name +
+                     "/n=" + std::to_string(size),
+                 {{"proto", proto.name},
+                  {"n", size},
+                  {"trials", trials},
+                  {"complete", proto.agg.complete}},
+                 proto.wall_ns);
+    };
 
-      auto account = [&](Run& run, const DisseminationResult& result) {
-        run.msgs += static_cast<double>(result.messages_sent);
-        run.deliv += result.delivery_ratio();
-        run.min_deliv = std::min(run.min_deliv, result.delivery_ratio());
-        run.complete += result.all_alive_delivered() ? 1 : 0;
-      };
-      account(flood_run, flood(g, {.source = 0, .seed = seed}, plan));
-      account(gossip_run,
-              gossip(size, {.source = 0, .fanout = 4, .seed = seed}, plan));
-      account(gossip_big,
-              gossip(size, {.source = 0, .fanout = 8, .seed = seed}, plan));
-      account(gossip_pp,
-              gossip(size, {.source = 0, .fanout = 2,
-                            .mode = GossipMode::kPushPull, .seed = seed},
-                     plan));
-      account(tree_run, spanning_tree_multicast(g, {.source = 0, .seed = seed},
-                                                plan));
-    }
-    for (const Run& run :
-         {flood_run, gossip_run, gossip_big, gossip_pp, tree_run}) {
-      table.print_row(size, run.name, run.msgs / kTrials, run.deliv / kTrials,
-                      run.min_deliv, 100.0 * run.complete / kTrials);
+    sweep(protos[0], [&](std::uint64_t seed, const FailurePlan& plan) {
+      return flood(g, {.source = 0, .seed = seed}, plan);
+    });
+    sweep(protos[1], [&](std::uint64_t seed, const FailurePlan& plan) {
+      return gossip(size, {.source = 0, .fanout = 4, .seed = seed}, plan);
+    });
+    sweep(protos[2], [&](std::uint64_t seed, const FailurePlan& plan) {
+      return gossip(size, {.source = 0, .fanout = 8, .seed = seed}, plan);
+    });
+    sweep(protos[3], [&](std::uint64_t seed, const FailurePlan& plan) {
+      return gossip(size, {.source = 0, .fanout = 2,
+                           .mode = GossipMode::kPushPull, .seed = seed},
+                    plan);
+    });
+    sweep(protos[4], [&](std::uint64_t seed, const FailurePlan& plan) {
+      return spanning_tree_multicast(g, {.source = 0, .seed = seed}, plan);
+    });
+
+    for (const Proto& proto : protos) {
+      table.print_row(size, proto.name, proto.agg.msgs / trials,
+                      proto.agg.deliv / trials, proto.agg.min_deliv,
+                      100.0 * proto.agg.complete / trials);
     }
     std::cout << '\n';
   }
   std::cout << "shape check: flood complete% == 100 at ~k*n msgs; gossip "
                "needs more msgs for less certainty; tree is cheap but "
                "unreliable\n";
-  return 0;
+  return opts.finish(report);
 }

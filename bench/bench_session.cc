@@ -9,20 +9,48 @@
 //
 // Expected shape: msgs/broadcast constant in M; complete% = 100;
 // makespan ~ last start + diameter.
+//
+// Each (M, f) cell repeats the session with independent source draws,
+// fanned across core::parallel by flooding::TrialRunner.
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/rng.h"
 #include "flooding/failure.h"
 #include "flooding/protocols.h"
 #include "flooding/session.h"
+#include "flooding/trial_runner.h"
 #include "lhg/lhg.h"
+#include "report.h"
 #include "table.h"
 
-int main() {
+namespace {
+
+struct Agg {
+  double complete = 0;
+  double msgs = 0;
+  double makespan = 0;
+
+  static Agg merge(Agg a, const Agg& b) {
+    a.complete += b.complete;
+    a.msgs += b.msgs;
+    a.makespan = std::max(a.makespan, b.makespan);
+    return a;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace lhg;
   using namespace lhg::flooding;
 
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::BenchReport report("bench_session");
+
+  const int trials = opts.small ? 4 : 8;
   const std::int32_t k = 4;
   const core::NodeId n = 302;
   const auto g = build(n, k);
@@ -30,53 +58,70 @@ int main() {
 
   std::cout << "E14: concurrent broadcasts over one (" << n << ", " << k
             << ") overlay; single-flood cost = " << single.messages_sent
-            << " msgs\n";
+            << " msgs, " << trials << " sessions per cell  [threads="
+            << core::global_thread_count() << "]\n";
   bench::Table table({"broadcasts", "failures", "complete%", "msgs/bcast",
                       "makespan", "interference"},
                      13);
   table.print_header();
 
-  core::Rng rng(17);
   for (const int broadcasts : {1, 4, 16, 64}) {
     for (const std::int32_t f : {0, k - 1}) {
-      std::vector<BroadcastSpec> specs;
-      for (int b = 0; b < broadcasts; ++b) {
-        specs.push_back(
-            {static_cast<core::NodeId>(rng.next_below(
-                 static_cast<std::uint64_t>(n))),
-             static_cast<double>(b % 8)});  // staggered waves
-      }
-      FailurePlan plan;
-      if (f > 0) {
-        // Crash mid-session so early and late broadcasts see different
-        // memberships; protect all sources crudely by protecting id 0
-        // and resampling sources to nonzero ids is unnecessary — a
-        // crashed source is reported as incomplete by definition, so
-        // exclude sources from the crash set.
-        core::Rng crash_rng(99);
-        std::vector<bool> is_source(static_cast<std::size_t>(n), false);
-        for (const auto& spec : specs) {
-          is_source[static_cast<std::size_t>(spec.source)] = true;
-        }
-        while (static_cast<std::int32_t>(plan.crashes.size()) < f) {
-          const auto victim = static_cast<core::NodeId>(
-              crash_rng.next_below(static_cast<std::uint64_t>(n)));
-          if (!is_source[static_cast<std::size_t>(victim)]) {
-            plan.crashes.push_back({victim, 3.0});
-            is_source[static_cast<std::size_t>(victim)] = true;  // dedup
-          }
-        }
-      }
-      const auto session = run_broadcast_session(g, specs, {.seed = 5}, plan);
-      const double per_broadcast =
-          static_cast<double>(session.total_messages_sent) / broadcasts;
+      const TrialRunner runner{
+          .seed = static_cast<std::uint64_t>(broadcasts) * 257 +
+                  static_cast<std::uint64_t>(f)};
+      const bench::WallTimer timer;
+      const Agg agg = runner.run<Agg>(
+          trials, Agg{},
+          [&](std::int64_t, core::Rng& rng) {
+            std::vector<BroadcastSpec> specs;
+            for (int b = 0; b < broadcasts; ++b) {
+              specs.push_back(
+                  {static_cast<core::NodeId>(rng.next_below(
+                       static_cast<std::uint64_t>(n))),
+                   static_cast<double>(b % 8)});  // staggered waves
+            }
+            FailurePlan plan;
+            if (f > 0) {
+              // Crash mid-session so early and late broadcasts see
+              // different memberships; a crashed source is incomplete
+              // by definition, so keep sources out of the crash set.
+              std::vector<bool> is_source(static_cast<std::size_t>(n), false);
+              for (const auto& spec : specs) {
+                is_source[static_cast<std::size_t>(spec.source)] = true;
+              }
+              while (static_cast<std::int32_t>(plan.crashes.size()) < f) {
+                const auto victim = static_cast<core::NodeId>(
+                    rng.next_below(static_cast<std::uint64_t>(n)));
+                if (!is_source[static_cast<std::size_t>(victim)]) {
+                  plan.crashes.push_back({victim, 3.0});
+                  is_source[static_cast<std::size_t>(victim)] = true;  // dedup
+                }
+              }
+            }
+            const auto session =
+                run_broadcast_session(g, specs, {.seed = rng()}, plan);
+            Agg one;
+            one.complete = session.complete_fraction();
+            one.msgs = static_cast<double>(session.total_messages_sent) /
+                       broadcasts;
+            one.makespan = session.makespan;
+            return one;
+          },
+          Agg::merge);
+      const std::int64_t wall_ns = timer.elapsed_ns();
+      report.add("session/broadcasts=" + std::to_string(broadcasts) +
+                     "/f=" + std::to_string(f),
+                 {{"broadcasts", broadcasts}, {"f", f}, {"trials", trials}},
+                 wall_ns);
+      const double per_broadcast = agg.msgs / trials;
       table.print_row(
-          broadcasts, f, 100.0 * session.complete_fraction(), per_broadcast,
-          session.makespan,
+          broadcasts, f, 100.0 * agg.complete / trials, per_broadcast,
+          agg.makespan,
           per_broadcast / static_cast<double>(single.messages_sent));
     }
   }
   std::cout << "\nshape check: interference ~ 1.00 regardless of M; "
                "complete% == 100\n";
-  return 0;
+  return opts.finish(report);
 }

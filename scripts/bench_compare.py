@@ -75,6 +75,9 @@ def main():
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from these reports "
                              "instead of comparing")
+    parser.add_argument("--fail-on-missing", action="store_true",
+                        help="fail the gate when a measured entry has no "
+                             "baseline (default: warn only)")
     args = parser.parse_args()
 
     current = flatten(load_report(p) for p in args.reports)
@@ -120,9 +123,14 @@ def main():
         for line in improvements:
             print(f"  {line}")
     if missing:
-        print(f"\nnew entries without baseline ({len(missing)}):")
+        # Loud on purpose: an entry with no baseline is ungated, which
+        # usually means a new bench landed without `--update`.
+        print(f"\nWARNING: {len(missing)} measured entries have no "
+              f"baseline and are NOT gated:", file=sys.stderr)
         for key in missing:
-            print(f"  {key}")
+            print(f"  {key}", file=sys.stderr)
+        print("add them with: scripts/bench_compare.py --update "
+              "BENCH_*.json", file=sys.stderr)
     if skipped_fast:
         print(f"\nskipped (baseline under min-ns): {len(skipped_fast)}")
     if stale:
@@ -132,6 +140,9 @@ def main():
         for line in regressions:
             print(f"  {line}")
         print("\nbench gate: FAIL")
+        return 1
+    if missing and args.fail_on_missing:
+        print("\nbench gate: FAIL (missing baseline entries)")
         return 1
     print("\nbench gate: ok")
     return 0

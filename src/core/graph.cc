@@ -55,15 +55,30 @@ Graph Graph::from_edges(NodeId num_nodes, std::span<const Edge> edges) {
   LHG_DCHECK(static_cast<std::size_t>(g.offsets_.back()) == 2 * g.edges_.size(),
              "CSR offsets end at {} but expected {}", g.offsets_.back(),
              2 * g.edges_.size());
+  // Arc companion arrays: reverse-arc twin and undirected edge id, one
+  // pass over the canonical edge list.
+  g.twin_.resize(g.adjacency_.size());
+  g.arc_edge_.resize(g.adjacency_.size());
+  for (std::size_t i = 0; i < g.edges_.size(); ++i) {
+    const Edge e = g.edges_[i];
+    const std::int32_t uv = g.arc_index(e.u, e.v);
+    const std::int32_t vu = g.arc_index(e.v, e.u);
+    g.twin_[static_cast<std::size_t>(uv)] = vu;
+    g.twin_[static_cast<std::size_t>(vu)] = uv;
+    g.arc_edge_[static_cast<std::size_t>(uv)] = static_cast<std::int32_t>(i);
+    g.arc_edge_[static_cast<std::size_t>(vu)] = static_cast<std::int32_t>(i);
+  }
   return g;
 }
 
-bool Graph::has_edge(NodeId u, NodeId v) const {
+std::int32_t Graph::arc_index(NodeId u, NodeId v) const {
   if (u < 0 || v < 0 || u >= num_nodes() || v >= num_nodes() || u == v) {
-    return false;
+    return -1;
   }
   const auto nbrs = neighbors(u);
-  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return -1;
+  return offsets_[as_index(u)] + static_cast<std::int32_t>(it - nbrs.begin());
 }
 
 std::int32_t Graph::min_degree() const {

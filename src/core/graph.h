@@ -78,10 +78,59 @@ class Graph {
   }
 
   /// True iff the edge {u,v} is present.  O(log deg(u)).
-  bool has_edge(NodeId u, NodeId v) const;
+  bool has_edge(NodeId u, NodeId v) const { return arc_index(u, v) >= 0; }
 
   /// All edges in canonical (u < v) lexicographic order.
   std::span<const Edge> edges() const { return edges_; }
+
+  /// Number of directed arcs (2m); `arc_index` values live in [0, 2m).
+  std::int32_t num_arcs() const {
+    return static_cast<std::int32_t>(adjacency_.size());
+  }
+
+  /// CSR position of the arc u→v — the index of `v` inside
+  /// `neighbors(u)`, offset by u's slice start — or -1 if the edge is
+  /// absent.  O(log deg(u)).  Arc ids index per-direction state (e.g.
+  /// who-heard-whom heartbeat tables) as flat arrays of size num_arcs().
+  std::int32_t arc_index(NodeId u, NodeId v) const;
+
+  /// CSR position of the reverse arc: twin_arc(arc_index(u,v)) ==
+  /// arc_index(v,u).  O(1).
+  std::int32_t twin_arc(std::int32_t arc) const {
+    LHG_DCHECK_RANGE(arc, num_arcs());
+    return twin_[static_cast<std::size_t>(arc)];
+  }
+
+  /// First arc id of u's CSR slice: u's outgoing arcs are exactly
+  /// [arc_begin(u), arc_begin(u) + degree(u)), aligned index-for-index
+  /// with neighbors(u).  Iterating this range instead of calling
+  /// arc_index per neighbor turns the per-send O(log deg) search into
+  /// O(1) — the flooding hot path relies on it.
+  std::int32_t arc_begin(NodeId u) const {
+    LHG_DCHECK_RANGE(u, num_nodes());
+    return offsets_[as_index(u)];
+  }
+
+  /// Head (target node) of the arc at CSR position `arc`.  O(1).
+  NodeId arc_target(std::int32_t arc) const {
+    LHG_DCHECK_RANGE(arc, num_arcs());
+    return adjacency_[static_cast<std::size_t>(arc)];
+  }
+
+  /// Dense undirected edge id of {u,v} in [0, num_edges()) — the
+  /// position of canonical(u,v) within edges() — or -1 if absent.
+  /// O(log deg(u)).  Edge ids index per-link state (latencies, failure
+  /// flags) as flat arrays of size num_edges().
+  std::int32_t edge_index(NodeId u, NodeId v) const {
+    const std::int32_t arc = arc_index(u, v);
+    return arc < 0 ? -1 : arc_edge_[static_cast<std::size_t>(arc)];
+  }
+
+  /// Undirected edge id of the arc at CSR position `arc`.  O(1).
+  std::int32_t edge_of_arc(std::int32_t arc) const {
+    LHG_DCHECK_RANGE(arc, num_arcs());
+    return arc_edge_[static_cast<std::size_t>(arc)];
+  }
 
   std::int32_t min_degree() const;
   std::int32_t max_degree() const;
@@ -114,6 +163,10 @@ class Graph {
   std::vector<std::int32_t> offsets_{0};  // size n+1
   std::vector<NodeId> adjacency_;      // size 2m, per-node sorted
   std::vector<Edge> edges_;            // size m, canonical sorted
+  // Arc-indexed companions to `adjacency_` (both size 2m), derived at
+  // construction: the reverse-arc position and the undirected edge id.
+  std::vector<std::int32_t> twin_;
+  std::vector<std::int32_t> arc_edge_;
 };
 
 /// Incremental construction of a `Graph`.  O(1) amortized per edge.

@@ -1,38 +1,125 @@
 #include "flooding/event_sim.h"
 
-#include <cmath>
-
-#include "core/check.h"
+#include <algorithm>
 
 namespace lhg::flooding {
 
-void Simulator::schedule_at(double time, Callback cb) {
-  LHG_CHECK(!std::isnan(time) && time >= now_,
-            "Simulator::schedule_at: time {} is NaN or before now {}", time,
-            now_);
-  LHG_CHECK(static_cast<bool>(cb), "Simulator::schedule_at: empty callback");
-  queue_.push({time, next_seq_++, std::move(cb)});
-}
-
-void Simulator::run() {
-  while (!queue_.empty()) {
-    // Move out of the const top; the heap is re-established by pop().
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = event.time;
-    ++processed_;
-    event.callback();
+Simulator::~Simulator() {
+  // Destroy callables of events that never executed (drained queues
+  // leave nothing; run_until can).
+  for (const BucketRef& ref : bucket_heap_) {
+    const Bucket& bucket = buckets_[ref.bucket];
+    for (std::uint32_t i = bucket.head;
+         i < static_cast<std::uint32_t>(bucket.events.size()); ++i) {
+      const Event& ev = bucket.events[i];
+      if (ev.kind == kCallback) {
+        CallbackPayload& cb =
+            slot(static_cast<std::uint32_t>(ev.link)).callback;
+        cb.destroy(cb.storage);
+      }
+    }
   }
 }
+
+void Simulator::enqueue_slow(double time, const Event& ev) {
+  // Open a fresh bucket for this timestamp.  Several buckets may share
+  // a time (pushes alternating between timestamps abandon and reopen);
+  // the creation-seq tie-break drains them in creation order, which —
+  // because an abandoned bucket never receives further appends — is
+  // exactly global insertion order.
+  std::uint32_t b;
+  if (!bucket_free_.empty()) {
+    b = bucket_free_.back();
+    bucket_free_.pop_back();
+    buckets_[b].time = time;
+    buckets_[b].head = 0;
+    buckets_[b].events.clear();
+  } else {
+    b = static_cast<std::uint32_t>(buckets_.size());
+    buckets_.push_back(Bucket{time, 0, {}});
+  }
+  bucket_heap_push({time, next_bucket_seq_++, b});
+  buckets_[b].events.push_back(ev);
+  last_bucket_ = b;
+}
+
+void Simulator::bucket_heap_push(BucketRef ref) {
+  // Hole-based sift-up: parents slide down into the hole and the ref
+  // lands once.
+  std::size_t i = bucket_heap_.size();
+  bucket_heap_.push_back(ref);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!before(ref, bucket_heap_[parent])) break;
+    bucket_heap_[i] = bucket_heap_[parent];
+    i = parent;
+  }
+  bucket_heap_[i] = ref;
+}
+
+void Simulator::bucket_heap_pop() {
+  const BucketRef last = bucket_heap_.back();
+  bucket_heap_.pop_back();
+  const std::size_t n = bucket_heap_.size();
+  if (n == 0) return;
+  // Sift `last` down from the root among up to four children.
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = (i << 2) + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t end = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (before(bucket_heap_[c], bucket_heap_[best])) best = c;
+    }
+    if (!before(bucket_heap_[best], last)) break;
+    bucket_heap_[i] = bucket_heap_[best];
+    i = best;
+  }
+  bucket_heap_[i] = last;
+}
+
+void Simulator::dispatch(const Event& ev) {
+  ++processed_;
+  --pending_;
+  if (ev.kind == kDeliver) {
+    // The whole payload is in `ev` — copied off the queue, so the sink
+    // is free to schedule follow-up events.
+    ev.sink->on_deliver(ev.from, ev.to, ev.link, ev.message);
+  } else {
+    // Invoke in place — slab addresses are stable, so events the
+    // callback schedules (which may carve new chunks) cannot move it.
+    const auto id = static_cast<std::uint32_t>(ev.link);
+    CallbackPayload& cb = slot(id).callback;
+    cb.invoke(cb.storage);
+    free_slot(id);
+  }
+}
+
+void Simulator::drain_front(double deadline, bool bounded) {
+  // Drain buckets in (time, creation) order.  All access goes through
+  // indices: dispatch may open new buckets (reallocating `buckets_`) or
+  // append same-time events behind `head` of the bucket being drained.
+  while (!bucket_heap_.empty()) {
+    const std::uint32_t b = bucket_heap_.front().bucket;
+    if (bounded && buckets_[b].time > deadline) break;
+    now_ = buckets_[b].time;
+    while (buckets_[b].head < buckets_[b].events.size()) {
+      const Event ev = buckets_[b].events[buckets_[b].head++];
+      dispatch(ev);
+    }
+    bucket_heap_pop();
+    if (last_bucket_ == b) last_bucket_ = kNoBucket;
+    buckets_[b].events.clear();
+    buckets_[b].head = 0;
+    bucket_free_.push_back(b);
+  }
+}
+
+void Simulator::run() { drain_front(0.0, /*bounded=*/false); }
 
 void Simulator::run_until(double deadline) {
-  while (!queue_.empty() && queue_.top().time <= deadline) {
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = event.time;
-    ++processed_;
-    event.callback();
-  }
+  drain_front(deadline, /*bounded=*/true);
   if (now_ < deadline) now_ = deadline;
 }
 

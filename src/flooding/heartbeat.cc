@@ -1,6 +1,6 @@
 #include "flooding/heartbeat.h"
 
-#include <unordered_map>
+#include <utility>
 
 #include "core/check.h"
 #include "core/rng.h"
@@ -8,16 +8,6 @@
 namespace lhg::flooding {
 
 using core::NodeId;
-
-namespace {
-
-constexpr std::uint64_t pair_key(NodeId observer, NodeId target) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(observer))
-          << 32) |
-         static_cast<std::uint32_t>(target);
-}
-
-}  // namespace
 
 HeartbeatResult run_heartbeat(const core::Graph& topology,
                               const HeartbeatConfig& cfg,
@@ -30,13 +20,13 @@ HeartbeatResult run_heartbeat(const core::Graph& topology,
   Simulator sim;
   core::Rng rng(cfg.seed);
   Network net(topology, sim, cfg.latency, rng, cfg.loss_probability);
-  std::unordered_map<NodeId, double> crash_time;
+  std::vector<std::pair<NodeId, double>> crash_time;  // plan order
   for (const NodeCrash& crash : failures.crashes) {
     if (crash.time <= 0.0) {
       net.crash_now(crash.node);
     } else {
       net.crash_at(crash.node, crash.time);
-      crash_time.emplace(crash.node, crash.time);
+      crash_time.emplace_back(crash.node, crash.time);
     }
   }
   for (const LinkFailure& failure : failures.link_failures) {
@@ -48,52 +38,65 @@ HeartbeatResult run_heartbeat(const core::Graph& topology,
   }
 
   HeartbeatResult result;
-  std::unordered_map<std::uint64_t, double> last_heard;
-  std::unordered_map<std::uint64_t, bool> suspected;
-  std::unordered_map<std::uint64_t, double> suspect_time;
+  // Per-(observer, target) monitoring state is per *directed arc* of
+  // the overlay: flat arrays over Graph::arc_index ids replace the
+  // hash-keyed maps this loop used to probe on every beat.
+  const auto arcs = static_cast<std::size_t>(topology.num_arcs());
+  std::vector<double> last_heard(arcs, 0.0);
+  std::vector<std::uint8_t> suspected(arcs, 0);
+  std::vector<double> suspect_time(arcs, 0.0);
 
   // Suspicion check: fires `timeout` after the heartbeat that armed it;
   // a newer heartbeat re-arms a later check, so only the newest matters.
-  auto schedule_check = [&](NodeId observer, NodeId target, double armed_at) {
-    sim.schedule_at(armed_at + cfg.timeout, [&, observer, target, armed_at] {
+  auto schedule_check = [&](NodeId observer, NodeId target,
+                            std::int32_t arc, double armed_at) {
+    sim.schedule_at(armed_at + cfg.timeout,
+                    [&, observer, target, arc, armed_at] {
       if (!net.is_alive(observer)) return;
       // Beats stop at the horizon; silence past it is an artifact of
       // the simulation ending, not a failure.
       if (sim.now() > cfg.horizon) return;
-      const auto key = pair_key(observer, target);
-      if (last_heard[key] > armed_at) return;  // newer beat re-armed
-      if (suspected[key]) return;
-      suspected[key] = true;
-      suspect_time[key] = sim.now();
+      const auto a = static_cast<std::size_t>(arc);
+      if (last_heard[a] > armed_at) return;  // newer beat re-armed
+      if (suspected[a] != 0) return;
+      suspected[a] = 1;
+      suspect_time[a] = sim.now();
       if (net.is_alive(target)) ++result.false_suspicions;
     });
   };
 
   net.set_receive_handler([&](NodeId self, NodeId from, std::int64_t) {
-    const auto key = pair_key(self, from);
-    last_heard[key] = sim.now();
-    suspected[key] = false;  // rebut any standing suspicion
-    schedule_check(self, from, sim.now());
+    const std::int32_t arc = topology.arc_index(self, from);
+    const auto a = static_cast<std::size_t>(arc);
+    last_heard[a] = sim.now();
+    suspected[a] = 0;  // rebut any standing suspicion
+    schedule_check(self, from, arc, sim.now());
   });
 
   // Periodic beats from every node until it crashes or the horizon.
   for (NodeId u = 0; u < topology.num_nodes(); ++u) {
     for (double t = cfg.interval; t <= cfg.horizon; t += cfg.interval) {
       sim.schedule_at(t, [&, u] {
-        for (NodeId v : topology.neighbors(u)) net.send(u, v, 0);
+        std::int32_t arc = topology.arc_begin(u);
+        for (NodeId v : topology.neighbors(u)) {
+          net.send_link(u, v, topology.edge_of_arc(arc), 0);
+          ++arc;
+        }
       });
     }
     // Everyone starts "heard at 0".
     for (NodeId v : topology.neighbors(u)) {
-      last_heard[pair_key(u, v)] = 0.0;
-      schedule_check(u, v, 0.0);
+      const std::int32_t arc = topology.arc_index(u, v);
+      last_heard[static_cast<std::size_t>(arc)] = 0.0;
+      schedule_check(u, v, arc, 0.0);
     }
   }
   sim.run_until(cfg.horizon + cfg.timeout + 1.0);
 
   result.heartbeats_sent = net.messages_sent();
 
-  // Post-process detections for crashes scheduled inside the horizon.
+  // Post-process detections for crashes scheduled inside the horizon
+  // (in failure-plan order, deterministically).
   for (const auto& [node, at] : crash_time) {
     if (at >= cfg.horizon) continue;
     CrashDetection detection;
@@ -103,12 +106,13 @@ HeartbeatResult run_heartbeat(const core::Graph& topology,
     bool complete = true;
     for (NodeId w : topology.neighbors(node)) {
       if (!net.is_alive(w)) continue;  // dead observers owe nothing
-      const auto key = pair_key(w, node);
-      if (!suspected[key]) {
+      const auto a =
+          static_cast<std::size_t>(topology.arc_index(w, node));
+      if (suspected[a] == 0) {
         complete = false;
         break;
       }
-      worst = std::max(worst, suspect_time[key] - at);
+      worst = std::max(worst, suspect_time[a] - at);
     }
     detection.detection_latency = complete ? worst : -1.0;
     result.detections.push_back(detection);

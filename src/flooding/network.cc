@@ -13,20 +13,30 @@ Network::Network(const core::Graph& topology, Simulator& sim,
       latency_(latency),
       rng_(&rng),
       loss_probability_(loss_probability),
-      crashed_(static_cast<std::size_t>(topology.num_nodes()), false),
-      alive_count_(topology.num_nodes()) {
+      crashed_(static_cast<std::size_t>(topology.num_nodes()), 0),
+      alive_count_(topology.num_nodes()),
+      link_failed_(static_cast<std::size_t>(topology.num_edges()), 0) {
   LHG_CHECK(latency.base >= 0 && latency.jitter >= 0,
             "Network: negative latency (base={}, jitter={})", latency.base,
             latency.jitter);
   LHG_CHECK(loss_probability >= 0.0 && loss_probability < 1.0,
             "Network: loss probability {} must be in [0, 1)",
             loss_probability);
+  if (latency.kind == LatencySpec::Kind::kUniformPerLink) {
+    // Draw every link's latency up front, in canonical edge order (the
+    // pinned consumption order of the determinism contract); send()
+    // then reduces to a flat load.
+    link_latency_.resize(static_cast<std::size_t>(topology.num_edges()));
+    for (double& l : link_latency_) {
+      l = latency.base + latency.jitter * rng.next_double();
+    }
+  }
 }
 
 void Network::crash_now(NodeId node) {
   LHG_CHECK_RANGE(node, topology_->num_nodes());
-  if (!crashed_[static_cast<std::size_t>(node)]) {
-    crashed_[static_cast<std::size_t>(node)] = true;
+  if (crashed_[static_cast<std::size_t>(node)] == 0) {
+    crashed_[static_cast<std::size_t>(node)] = 1;
     --alive_count_;
   }
 }
@@ -36,8 +46,9 @@ void Network::crash_at(NodeId node, double at) {
 }
 
 void Network::fail_link_now(NodeId u, NodeId v) {
-  LHG_CHECK(topology_->has_edge(u, v), "fail_link: ({}, {}) not a link", u, v);
-  link_failed_at_.emplace(core::edge_key(u, v), sim_->now());
+  const std::int32_t link = topology_->edge_index(u, v);
+  LHG_CHECK(link >= 0, "fail_link: ({}, {}) not a link", u, v);
+  link_failed_[static_cast<std::size_t>(link)] = 1;
 }
 
 void Network::fail_link_at(NodeId u, NodeId v, double at) {
@@ -45,24 +56,16 @@ void Network::fail_link_at(NodeId u, NodeId v, double at) {
 }
 
 bool Network::link_ok(NodeId u, NodeId v) const {
-  return !link_failed_at_.contains(core::edge_key(u, v));
+  const std::int32_t link = topology_->edge_index(u, v);
+  return link >= 0 && link_failed_[static_cast<std::size_t>(link)] == 0;
 }
 
-double Network::sample_latency(NodeId u, NodeId v) {
+double Network::sample_latency(std::int32_t link) {
   switch (latency_.kind) {
     case LatencySpec::Kind::kFixed:
       return latency_.base;
-    case LatencySpec::Kind::kUniformPerLink: {
-      const auto key = core::edge_key(u, v);
-      auto it = link_latency_.find(key);
-      if (it == link_latency_.end()) {
-        it = link_latency_
-                 .emplace(key,
-                          latency_.base + latency_.jitter * rng_->next_double())
-                 .first;
-      }
-      return it->second;
-    }
+    case LatencySpec::Kind::kUniformPerLink:
+      return link_latency_[static_cast<std::size_t>(link)];
     case LatencySpec::Kind::kUniformPerSend:
       return latency_.base + latency_.jitter * rng_->next_double();
   }
@@ -71,9 +74,18 @@ double Network::sample_latency(NodeId u, NodeId v) {
 }
 
 bool Network::send(NodeId from, NodeId to, std::int64_t message) {
-  LHG_CHECK(topology_->has_edge(from, to),
-            "send: ({}, {}) is not a link of the overlay", from, to);
-  if (crashed_[static_cast<std::size_t>(from)] || !link_ok(from, to)) {
+  const std::int32_t link = topology_->edge_index(from, to);
+  LHG_CHECK(link >= 0, "send: ({}, {}) is not a link of the overlay", from,
+            to);
+  return send_link(from, to, link, message);
+}
+
+bool Network::send_link(NodeId from, NodeId to, std::int32_t link,
+                        std::int64_t message) {
+  LHG_DCHECK(link == topology_->edge_index(from, to),
+             "send_link: {} is not the edge id of ({}, {})", link, from, to);
+  if (crashed_[static_cast<std::size_t>(from)] != 0 ||
+      link_failed_[static_cast<std::size_t>(link)] != 0) {
     return false;
   }
   ++messages_sent_;
@@ -81,16 +93,20 @@ bool Network::send(NodeId from, NodeId to, std::int64_t message) {
     ++messages_lost_;  // transmitted but dropped on the wire
     return true;
   }
-  const double latency = sample_latency(from, to);
-  sim_->schedule_in(latency, [this, from, to, message] {
-    // Delivery checks at arrival time: receiver must be alive and the
-    // link must still be up (a message in flight when its link fails is
-    // lost, modeling a cut trunk).
-    if (crashed_[static_cast<std::size_t>(to)]) return;
-    if (!link_ok(from, to)) return;
-    if (on_receive_) on_receive_(to, from, message);
-  });
+  sim_->schedule_deliver_in(sample_latency(link), this, from, to, link,
+                            message);
   return true;
+}
+
+void Network::on_deliver(std::int32_t from, std::int32_t to,
+                         std::int32_t link, std::int64_t message) {
+  // Delivery checks at arrival time: receiver must be alive and the
+  // link must still be up (a message in flight when its link fails is
+  // lost, modeling a cut trunk).  The sender's state is irrelevant
+  // here — it was alive at send time or send() refused.
+  if (crashed_[static_cast<std::size_t>(to)] != 0) return;
+  if (link_failed_[static_cast<std::size_t>(link)] != 0) return;
+  if (on_receive_) on_receive_(to, from, message);
 }
 
 }  // namespace lhg::flooding

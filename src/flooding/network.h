@@ -3,16 +3,22 @@
 // Nodes communicate only along the edges of a core::Graph; the Network
 // owns fail-stop crash state, link failures, per-link latencies and the
 // message counter.  A message sent at time t arrives at t + latency(link)
-// unless, at the *delivery* instant, the sender already crashed before t,
-// the receiver has crashed, or the link has failed — the standard
-// fail-stop model of the paper's flooding setting.
+// unless, at the *delivery* instant, the receiver has crashed or the
+// link has failed.  A sender crash only blocks *future* sends: under
+// fail-stop, copies already in flight when the sender dies still arrive
+// (pinned by the regression tests in test_network.cc).
+//
+// All per-link state is edge-indexed: `Graph::edge_index` maps {u,v} to
+// a dense id once per send, and latencies / failure flags are flat
+// vectors over those ids.  For kUniformPerLink the latencies are drawn
+// up front, one per link in canonical edge order, so the send path is
+// branch-light and allocation-free; deliveries ride the Simulator's
+// typed deliver events straight back into this class.
 
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/graph.h"
@@ -41,14 +47,20 @@ struct LatencySpec {
   }
 };
 
-class Network {
+class Network final : private Simulator::DeliverSink {
  public:
   /// `topology` and `sim` must outlive the Network.  `rng` is consumed
   /// for latency sampling and loss draws (may be shared with the
-  /// caller).  `loss_probability` drops each transmission independently
-  /// with that probability (the message is still counted as sent).
+  /// caller); with kUniformPerLink every link's latency is drawn here,
+  /// in canonical edge order.  `loss_probability` drops each
+  /// transmission independently with that probability (the message is
+  /// still counted as sent).
   Network(const core::Graph& topology, Simulator& sim, LatencySpec latency,
           core::Rng& rng, double loss_probability = 0.0);
+
+  // In-flight deliver events hold a pointer to this Network.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   const core::Graph& topology() const { return *topology_; }
   Simulator& simulator() { return *sim_; }
@@ -73,7 +85,7 @@ class Network {
   void fail_link_at(core::NodeId u, core::NodeId v, double at);
 
   bool is_alive(core::NodeId node) const {
-    return !crashed_[static_cast<std::size_t>(node)];
+    return crashed_[static_cast<std::size_t>(node)] == 0;
   }
   bool link_ok(core::NodeId u, core::NodeId v) const;
   std::int32_t alive_count() const { return alive_count_; }
@@ -84,13 +96,24 @@ class Network {
   /// Counts one message on every actual transmission attempt.
   bool send(core::NodeId from, core::NodeId to, std::int64_t message);
 
+  /// Fast-path send for callers that already hold the dense edge id of
+  /// {from, to} — e.g. protocols walking a CSR arc range with
+  /// `Graph::arc_begin` / `Graph::edge_of_arc`.  Identical semantics to
+  /// send(), minus the O(log deg) adjacency search.
+  bool send_link(core::NodeId from, core::NodeId to, std::int32_t link,
+                 std::int64_t message);
+
   std::int64_t messages_sent() const { return messages_sent_; }
 
   /// Transmissions dropped by the lossy-link model so far.
   std::int64_t messages_lost() const { return messages_lost_; }
 
  private:
-  double sample_latency(core::NodeId u, core::NodeId v);
+  // Typed-event entry point: delivery-instant checks, then the handler.
+  void on_deliver(std::int32_t from, std::int32_t to, std::int32_t link,
+                  std::int64_t message) override;
+
+  double sample_latency(std::int32_t link);
 
   const core::Graph* topology_;
   Simulator* sim_;
@@ -99,10 +122,10 @@ class Network {
   double loss_probability_ = 0.0;
   std::int64_t messages_lost_ = 0;
   ReceiveHandler on_receive_;
-  std::vector<bool> crashed_;
+  std::vector<std::uint8_t> crashed_;  // byte-wide: hot-path loads, no bit ops
   std::int32_t alive_count_ = 0;
-  std::unordered_map<std::uint64_t, double> link_latency_;  // per-link cache
-  std::unordered_map<std::uint64_t, double> link_failed_at_;
+  std::vector<double> link_latency_;        // per edge id (kUniformPerLink)
+  std::vector<std::uint8_t> link_failed_;   // per edge id
   std::int64_t messages_sent_ = 0;
 };
 

@@ -79,8 +79,12 @@ DisseminationResult flood(const core::Graph& topology, const FloodConfig& cfg,
   result.delivery_hops.assign(n, -1);
 
   auto forward = [&](NodeId self, NodeId except, std::int32_t hops) {
+    // Walk self's CSR arc slice so each send hands the Network its edge
+    // id directly — no per-neighbor adjacency search on the hot path.
+    std::int32_t arc = topology.arc_begin(self);
     for (NodeId v : topology.neighbors(self)) {
-      if (v != except) net.send(self, v, hops);
+      if (v != except) net.send_link(self, v, topology.edge_of_arc(arc), hops);
+      ++arc;
     }
   };
   net.set_receive_handler([&](NodeId self, NodeId from, std::int64_t hops) {
@@ -100,6 +104,7 @@ DisseminationResult flood(const core::Graph& topology, const FloodConfig& cfg,
   sim.run();
 
   result.messages_sent = net.messages_sent();
+  result.events_processed = sim.events_processed();
   finalize(result, alive_mask(net));
   return result;
 }
@@ -123,10 +128,12 @@ DisseminationResult probabilistic_flood(const core::Graph& topology,
 
   auto forward = [&](NodeId self, NodeId except, std::int32_t hops,
                      bool always) {
+    std::int32_t arc = topology.arc_begin(self) - 1;
     for (NodeId v : topology.neighbors(self)) {
+      ++arc;
       if (v == except) continue;
       if (always || coin.next_bool(cfg.forward_probability)) {
-        net.send(self, v, hops);
+        net.send_link(self, v, topology.edge_of_arc(arc), hops);
       }
     }
   };
@@ -147,6 +154,7 @@ DisseminationResult probabilistic_flood(const core::Graph& topology,
   sim.run();
 
   result.messages_sent = net.messages_sent();
+  result.events_processed = sim.events_processed();
   finalize(result, alive_mask(net));
   return result;
 }
@@ -296,6 +304,7 @@ DisseminationResult spanning_tree_multicast(const core::Graph& topology,
   sim.run();
 
   result.messages_sent = net.messages_sent();
+  result.events_processed = sim.events_processed();
   finalize(result, alive_mask(net));
   return result;
 }

@@ -25,6 +25,9 @@ struct DisseminationResult {
   std::vector<std::int32_t> delivery_hops;
 
   std::int64_t messages_sent = 0;
+  /// Simulator events executed (0 for round-based protocols that never
+  /// touch the event engine); the benches' throughput denominator.
+  std::int64_t events_processed = 0;
   std::int32_t alive_nodes = 0;      // nodes never crashed during the run
   std::int32_t delivered_alive = 0;  // alive nodes that got the message
 

@@ -1,7 +1,6 @@
 #include "flooding/reliable_broadcast.h"
 
 #include <functional>
-#include <unordered_set>
 
 #include "core/check.h"
 #include "core/rng.h"
@@ -19,11 +18,6 @@ constexpr std::int64_t kAck = 1;
 constexpr std::int64_t data_payload(std::int64_t hops) { return hops << 1; }
 constexpr bool is_ack(std::int64_t payload) { return (payload & 1) != 0; }
 constexpr std::int64_t hops_of(std::int64_t payload) { return payload >> 1; }
-
-constexpr std::uint64_t direction_key(NodeId from, NodeId to) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
-         static_cast<std::uint32_t>(to);
-}
 
 }  // namespace
 
@@ -57,20 +51,28 @@ ReliableBroadcastResult reliable_broadcast(const core::Graph& topology,
   const auto n = static_cast<std::size_t>(topology.num_nodes());
   result.delivery_time.assign(n, -1.0);
   result.delivery_hops.assign(n, -1);
-  std::unordered_set<std::uint64_t> acked;
+  // "DATA from u to v has been acknowledged", per directed arc u→v.
+  std::vector<std::uint8_t> acked(
+      static_cast<std::size_t>(topology.num_arcs()), 0);
 
   // Reliable per-link transmission: send now, re-send every interval
-  // until the copy is acknowledged or retries run out.
-  std::function<void(NodeId, NodeId, std::int64_t, std::int32_t)> transmit =
-      [&](NodeId from, NodeId to, std::int64_t hops, std::int32_t attempt) {
-        if (acked.contains(direction_key(from, to))) return;
-        if (!net.send(from, to, data_payload(hops))) return;  // dead path
+  // until the copy is acknowledged or retries run out.  `arc` is the
+  // CSR arc id of from→to: it indexes `acked` and yields the edge id,
+  // so retries never re-search the adjacency.
+  std::function<void(NodeId, NodeId, std::int32_t, std::int64_t, std::int32_t)>
+      transmit = [&](NodeId from, NodeId to, std::int32_t arc,
+                     std::int64_t hops, std::int32_t attempt) {
+        if (acked[static_cast<std::size_t>(arc)] != 0) return;
+        if (!net.send_link(from, to, topology.edge_of_arc(arc),
+                           data_payload(hops))) {
+          return;  // dead path
+        }
         if (attempt > 0) ++result.retransmissions;
         if (attempt >= cfg.max_retries) return;
-        sim.schedule_in(cfg.retransmit_interval, [&transmit, from, to, hops,
-                                                  attempt] {
-          transmit(from, to, hops, attempt + 1);
-        });
+        sim.schedule_in(cfg.retransmit_interval,
+                        [&transmit, from, to, arc, hops, attempt] {
+                          transmit(from, to, arc, hops, attempt + 1);
+                        });
       };
 
   auto deliver_and_forward = [&](NodeId self, NodeId except,
@@ -80,18 +82,23 @@ ReliableBroadcastResult reliable_broadcast(const core::Graph& topology,
     t = sim.now();
     result.delivery_hops[static_cast<std::size_t>(self)] =
         static_cast<std::int32_t>(hops);
+    std::int32_t arc = topology.arc_begin(self);
     for (NodeId v : topology.neighbors(self)) {
-      if (v != except) transmit(self, v, hops + 1, 0);
+      if (v != except) transmit(self, v, arc, hops + 1, 0);
+      ++arc;
     }
   };
 
   net.set_receive_handler([&](NodeId self, NodeId from, std::int64_t payload) {
+    const std::int32_t arc = topology.arc_index(self, from);
     if (is_ack(payload)) {
-      acked.insert(direction_key(self, from));
+      acked[static_cast<std::size_t>(arc)] = 1;
       return;
     }
     // Always (re-)acknowledge DATA — the previous ACK may have dropped.
-    if (net.send(self, from, kAck)) ++result.acks_sent;
+    if (net.send_link(self, from, topology.edge_of_arc(arc), kAck)) {
+      ++result.acks_sent;
+    }
     deliver_and_forward(self, from, hops_of(payload));
   });
 
@@ -101,6 +108,7 @@ ReliableBroadcastResult reliable_broadcast(const core::Graph& topology,
   sim.run();
 
   result.messages_sent = net.messages_sent();
+  result.events_processed = sim.events_processed();
   result.messages_lost = net.messages_lost();
   result.alive_nodes = 0;
   result.delivered_alive = 0;

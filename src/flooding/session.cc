@@ -49,8 +49,12 @@ SessionResult run_broadcast_session(const core::Graph& topology,
   }
 
   auto forward = [&](std::int64_t message, NodeId self, NodeId except) {
+    std::int32_t arc = topology.arc_begin(self);
     for (NodeId v : topology.neighbors(self)) {
-      if (v != except) net.send(self, v, message);
+      if (v != except) {
+        net.send_link(self, v, topology.edge_of_arc(arc), message);
+      }
+      ++arc;
     }
   };
   net.set_receive_handler([&](NodeId self, NodeId from, std::int64_t message) {

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -92,6 +94,144 @@ TEST(Simulator, ManyEventsStayConsistent) {
   sim.run();
   EXPECT_TRUE(monotone);
   EXPECT_EQ(sim.events_processed(), 1000);
+}
+
+// --- Typed deliver events -------------------------------------------
+
+struct RecordingSink : Simulator::DeliverSink {
+  struct Row {
+    std::int32_t from, to, link;
+    std::int64_t message;
+    double time;
+  };
+  explicit RecordingSink(Simulator& sim) : sim(&sim) {}
+  void on_deliver(std::int32_t from, std::int32_t to, std::int32_t link,
+                  std::int64_t message) override {
+    rows.push_back({from, to, link, message, sim->now()});
+  }
+  Simulator* sim;
+  std::vector<Row> rows;
+};
+
+TEST(Simulator, DeliverEventsCarryArgumentsVerbatim) {
+  Simulator sim;
+  RecordingSink sink(sim);
+  sim.schedule_deliver_at(2.5, &sink, 3, 4, 17, 0x1234567890abcdef);
+  sim.schedule_deliver_in(1.0, &sink, 1, 2, 0, -5);
+  sim.run();
+  ASSERT_EQ(sink.rows.size(), 2u);
+  EXPECT_EQ(sink.rows[0].from, 1);
+  EXPECT_EQ(sink.rows[0].to, 2);
+  EXPECT_EQ(sink.rows[0].link, 0);
+  EXPECT_EQ(sink.rows[0].message, -5);
+  EXPECT_DOUBLE_EQ(sink.rows[0].time, 1.0);
+  EXPECT_EQ(sink.rows[1].from, 3);
+  EXPECT_EQ(sink.rows[1].to, 4);
+  EXPECT_EQ(sink.rows[1].link, 17);
+  EXPECT_EQ(sink.rows[1].message, 0x1234567890abcdef);
+  EXPECT_DOUBLE_EQ(sink.rows[1].time, 2.5);
+  EXPECT_EQ(sim.events_processed(), 2);
+}
+
+TEST(Simulator, DeliverAndCallbackEventsInterleaveByInsertionOrder) {
+  Simulator sim;
+  RecordingSink sink(sim);
+  std::vector<int> order;
+  sim.schedule_deliver_at(1.0, &sink, 0, 1, 0, 100);
+  sim.schedule_at(1.0, [&] { order.push_back(static_cast<int>(sink.rows.size())); });
+  sim.schedule_deliver_at(1.0, &sink, 1, 2, 1, 200);
+  sim.run();
+  // Callback ran between the two deliveries (insertion-seq tie-break).
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], 1);
+  ASSERT_EQ(sink.rows.size(), 2u);
+  EXPECT_EQ(sink.rows[0].message, 100);
+  EXPECT_EQ(sink.rows[1].message, 200);
+}
+
+// --- Slab storage: zero allocations in steady state -----------------
+
+TEST(Simulator, DeliverPathNeverTouchesTheSlab) {
+  // A self-sustaining chain: each delivery schedules the next.  The
+  // per-message path carries its payload inside the heap item, so no
+  // slab slot and no callback heap allocation may ever happen.
+  Simulator sim;
+  std::int64_t hops = 0;
+  struct ChainSink : Simulator::DeliverSink {
+    Simulator* sim = nullptr;
+    std::int64_t* hops = nullptr;
+    void on_deliver(std::int32_t from, std::int32_t to, std::int32_t link,
+                    std::int64_t) override {
+      if (++*hops < 10000) sim->schedule_deliver_in(1.0, this, from, to, link, *hops);
+    }
+  } chain;
+  chain.sim = &sim;
+  chain.hops = &hops;
+  sim.schedule_deliver_at(0.0, &chain, 0, 1, 0, 0);
+  sim.run();
+  EXPECT_EQ(hops, 10000);
+  EXPECT_EQ(sim.slots_created(), 0);
+  EXPECT_EQ(sim.callback_heap_allocations(), 0);
+}
+
+TEST(Simulator, SlabRecyclesCallbackSlotsInSteadyState) {
+  // A self-sustaining callback chain: the queue never holds more than a
+  // handful of events, so after warm-up the slab must stop growing no
+  // matter how many events flow.
+  Simulator sim;
+  std::int64_t fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 10000) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run_until(100.0);  // warm up
+  const std::int64_t high_water = sim.slots_created();
+  EXPECT_GT(high_water, 0);
+  sim.run();
+  EXPECT_EQ(fired, 10000);
+  EXPECT_EQ(sim.slots_created(), high_water)
+      << "steady-state callbacks must recycle slab slots, not allocate";
+}
+
+TEST(Simulator, SmallCapturesStayInline) {
+  Simulator sim;
+  // 40 bytes of capture: inside kInlineCallbackCapacity, so no heap.
+  std::int64_t a = 1, b = 2, c = 3, d = 4;
+  double sum = 0.0;
+  double* out = &sum;
+  sim.schedule_at(1.0, [a, b, c, d, out] {
+    *out = static_cast<double>(a + b + c + d);
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sum, 10.0);
+  EXPECT_EQ(sim.callback_heap_allocations(), 0);
+}
+
+TEST(Simulator, OversizedCapturesFallBackToHeapAndStillRun) {
+  Simulator sim;
+  struct Big {
+    double payload[16];  // 128 bytes: over the inline budget
+  };
+  Big big{};
+  big.payload[7] = 42.0;
+  double seen = 0.0;
+  sim.schedule_at(1.0, [big, &seen] { seen = big.payload[7]; });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+  EXPECT_EQ(sim.callback_heap_allocations(), 1);
+}
+
+TEST(Simulator, DestructorReleasesQueuedCallbacks) {
+  // A shared_ptr captured by a never-executed callback must still be
+  // released at simulator teardown (the destroy path, not the invoke
+  // path).
+  auto token = std::make_shared<int>(5);
+  {
+    Simulator sim;
+    sim.schedule_at(1.0, [token] { (void)*token; });
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
 }
 
 }  // namespace

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <queue>
@@ -13,9 +15,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/parallel.h"
 #include "core/rng.h"
 #include "flooding/network.h"
 #include "flooding/protocols.h"
+#include "flooding/trial_runner.h"
 #include "harary/harary.h"
 #include "lhg/lhg.h"
 
@@ -140,6 +144,190 @@ TEST(FloodTiming, PerSendJitterStillDelivers) {
                 .seed = 4});
   EXPECT_TRUE(result.all_alive_delivered());
   EXPECT_GT(result.completion_time, 0.0);
+}
+
+// --- Golden-trace regression fixtures -------------------------------
+//
+// Each fixture is the complete (time, receiver, sender, hops) delivery
+// sequence of a flood of LHG(22, 3) from node 0 with seed 7, recorded
+// under the pre-typed-event std::function engine.  The fixed and
+// per-send traces must reproduce *exactly* (same Rng consumption
+// order); they prove the typed-event rewrite preserves both the event
+// total order and the latency/loss draw sequence bit for bit.
+//
+// The per-link fixture is different: the rewrite moved kUniformPerLink
+// sampling from lazy (first-send order) to eager (canonical edge order
+// at Network construction), deliberately changing which draw lands on
+// which link.  Its fixture was therefore re-recorded under the new
+// engine and pins the *new* documented semantics.
+
+struct TraceRow {
+  double time;
+  NodeId to;
+  NodeId from;
+  std::int64_t hops;
+};
+
+std::vector<TraceRow> record_flood_trace(LatencySpec spec,
+                                         std::uint64_t seed) {
+  const auto g = lhg::build(22, 3);
+  Simulator sim;
+  core::Rng rng(seed);
+  Network net(g, sim, spec, rng);
+
+  std::vector<TraceRow> trace;
+  std::vector<double> seen(static_cast<std::size_t>(g.num_nodes()), -1.0);
+  auto forward = [&](NodeId self, NodeId except, std::int64_t hops) {
+    for (NodeId v : g.neighbors(self)) {
+      if (v != except) net.send(self, v, hops);
+    }
+  };
+  net.set_receive_handler([&](NodeId self, NodeId from, std::int64_t hops) {
+    trace.push_back({sim.now(), self, from, hops});
+    if (seen[static_cast<std::size_t>(self)] >= 0.0) return;
+    seen[static_cast<std::size_t>(self)] = sim.now();
+    forward(self, from, hops + 1);
+  });
+  seen[0] = 0.0;
+  sim.schedule_at(0.0, [&] { forward(0, -1, 0); });
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 46);
+  EXPECT_EQ(net.messages_sent(), 45);
+  return trace;
+}
+
+void expect_trace_eq(const std::vector<TraceRow>& actual,
+                     const std::vector<TraceRow>& golden) {
+  ASSERT_EQ(actual.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(actual[i].time, golden[i].time) << "row " << i;  // bitwise
+    EXPECT_EQ(actual[i].to, golden[i].to) << "row " << i;
+    EXPECT_EQ(actual[i].from, golden[i].from) << "row " << i;
+    EXPECT_EQ(actual[i].hops, golden[i].hops) << "row " << i;
+  }
+}
+
+TEST(GoldenTrace, FixedLatencyMatchesPreRewriteEngine) {
+  const std::vector<TraceRow> golden = {
+      {1, 1, 0, 0},    {1, 2, 0, 0},    {1, 3, 0, 0},    {2, 4, 1, 1},
+      {2, 15, 1, 1},   {2, 16, 2, 1},   {2, 17, 2, 1},   {2, 18, 3, 1},
+      {2, 19, 3, 1},   {3, 20, 4, 2},   {3, 21, 4, 2},   {3, 6, 15, 2},
+      {3, 11, 15, 2},  {3, 7, 16, 2},   {3, 12, 16, 2},  {3, 7, 17, 2},
+      {3, 12, 17, 2},  {3, 8, 18, 2},   {3, 13, 18, 2},  {3, 8, 19, 2},
+      {3, 13, 19, 2},  {4, 9, 20, 3},   {4, 14, 20, 3},  {4, 9, 21, 3},
+      {4, 14, 21, 3},  {4, 5, 6, 3},    {4, 9, 6, 3},    {4, 10, 11, 3},
+      {4, 14, 11, 3},  {4, 5, 7, 3},    {4, 17, 7, 3},   {4, 10, 12, 3},
+      {4, 17, 12, 3},  {4, 5, 8, 3},    {4, 19, 8, 3},   {4, 10, 13, 3},
+      {4, 19, 13, 3},  {5, 6, 9, 4},    {5, 21, 9, 4},   {5, 11, 14, 4},
+      {5, 21, 14, 4},  {5, 7, 5, 4},    {5, 8, 5, 4},    {5, 12, 10, 4},
+      {5, 13, 10, 4},
+  };
+  expect_trace_eq(record_flood_trace(LatencySpec::fixed(1.0), 7), golden);
+}
+
+TEST(GoldenTrace, PerSendJitterMatchesPreRewriteEngine) {
+  const std::vector<TraceRow> golden = {
+      {0.77875122947378428, 2, 0, 0},  {1.2005764821796896, 1, 0, 0},
+      {1.3396274618764199, 3, 0, 0},   {1.7613285616725056, 15, 1, 1},
+      {1.9440632511192315, 18, 3, 1},  {2.2433339879789465, 19, 3, 1},
+      {2.2598489544887195, 16, 2, 1},  {2.2696115083068524, 17, 2, 1},
+      {2.4131446690066261, 6, 15, 2},  {2.5733504209248217, 4, 1, 1},
+      {2.8026961602108895, 11, 15, 2}, {2.9261114168548508, 12, 17, 2},
+      {3.016546943080936, 12, 16, 2},  {3.0468463375591446, 5, 6, 3},
+      {3.0845711015582702, 9, 6, 3},   {3.1759214581648454, 8, 18, 2},
+      {3.1947536407104122, 13, 19, 2}, {3.2358696758392833, 7, 17, 2},
+      {3.3207280697381991, 7, 16, 2},  {3.3830288498348344, 13, 18, 2},
+      {3.467028483575695, 16, 12, 3},  {3.5548751083630581, 10, 12, 3},
+      {3.5837726646878516, 10, 11, 3}, {3.6241847497683519, 8, 19, 2},
+      {3.6721448331224145, 21, 9, 4},  {3.7223499776224216, 8, 5, 4},
+      {3.7247067073048719, 20, 4, 2},  {3.7408036273740524, 21, 4, 2},
+      {3.8130096955438271, 5, 8, 3},   {4.0523057106465679, 14, 11, 3},
+      {4.0643093393472247, 20, 9, 4},  {4.0902238567786817, 16, 7, 3},
+      {4.1373212650446094, 7, 5, 4},   {4.1606917089951478, 5, 7, 3},
+      {4.4404272980461394, 9, 20, 3},  {4.4993743436957487, 19, 8, 3},
+      {4.6132782526373344, 18, 13, 3}, {4.6791744320477129, 10, 13, 3},
+      {4.7291446214453838, 20, 14, 4}, {4.7430053692926917, 11, 10, 4},
+      {4.7839023820529443, 14, 20, 3}, {4.9750782034280663, 13, 10, 4},
+      {5.0591412404330383, 14, 21, 5}, {5.1554146248478396, 4, 21, 5},
+      {5.2178316795755872, 21, 14, 4},
+  };
+  expect_trace_eq(record_flood_trace(LatencySpec::per_send(0.5, 1.0), 7),
+                  golden);
+}
+
+TEST(GoldenTrace, PerLinkJitterPinsCanonicalEdgeOrderSampling) {
+  const std::vector<TraceRow> golden = {
+      {1.1393756147368921, 2, 0, 0},   {1.3502882410898449, 1, 0, 0},
+      {1.41981373093821, 3, 0, 0},     {2.1697516544833002, 17, 2, 1},
+      {2.472031625559616, 18, 3, 1},   {2.5757625841094578, 16, 2, 1},
+      {2.6216669939894732, 19, 3, 1},  {2.8408371035973126, 4, 1, 1},
+      {2.845718380506379, 15, 1, 1},   {3.2575034745149387, 12, 17, 2},
+      {3.4028807382495154, 7, 17, 2},  {3.5502815798336149, 8, 18, 2},
+      {3.6654538597715454, 13, 19, 2}, {3.6885178282657325, 8, 19, 2},
+      {3.7041115784055663, 7, 16, 2},  {3.711900744454093, 13, 18, 2},
+      {3.8661769138668012, 11, 15, 2}, {3.8710000478521902, 12, 16, 2},
+      {3.9167451572643728, 20, 4, 2},  {4.1115209028665047, 21, 4, 2},
+      {4.1261579381311186, 6, 15, 2},  {4.3980417267534193, 10, 12, 3},
+      {4.5312297325456239, 16, 7, 3},  {4.5527409382576707, 16, 12, 3},
+      {4.6171324141098742, 19, 8, 3},  {4.8723635376073169, 5, 7, 3},
+      {4.9053229786660228, 18, 13, 3}, {4.9305587596209044, 14, 11, 3},
+      {4.9852892759538641, 14, 20, 3}, {4.9907069607283177, 5, 8, 3},
+      {5.0024583735401951, 9, 20, 3},  {5.0402586349893843, 10, 13, 3},
+      {5.1999035170914167, 10, 11, 3}, {5.351867764496852, 9, 6, 3},
+      {5.4371990460565298, 9, 21, 3},  {5.4920870416539254, 5, 6, 3},
+      {5.5232473456319564, 14, 21, 3}, {5.7317683299780349, 11, 10, 4},
+      {5.7728465019712587, 13, 10, 4}, {5.9991028783103957, 20, 14, 4},
+      {6.2281681999059284, 6, 9, 4},   {6.2382926411301236, 6, 5, 4},
+      {6.3127889185020196, 8, 5, 4},   {6.3281365167302202, 21, 9, 4},
+      {6.3422852023863561, 21, 14, 4},
+  };
+  expect_trace_eq(record_flood_trace(LatencySpec::per_link(1.0, 0.5), 7),
+                  golden);
+}
+
+// --- TrialRunner determinism: 1 thread vs N threads -----------------
+
+struct SweepAgg {
+  std::int64_t events = 0;
+  std::int64_t messages = 0;
+  double total_time = 0.0;
+  std::int32_t max_hops = 0;
+};
+
+SweepAgg run_trial_sweep(int threads) {
+  core::set_global_thread_count(threads);
+  const auto g = lhg::build(57, 3);
+  const TrialRunner runner{.seed = 99};
+  return runner.run(
+      24, SweepAgg{},
+      [&](std::int64_t t, core::Rng& rng) {
+        const auto r = flood(
+            g, {.source = static_cast<NodeId>(t % g.num_nodes()),
+                .latency = LatencySpec::per_send(0.5, 1.0), .seed = rng()});
+        return SweepAgg{r.events_processed, r.messages_sent,
+                        r.completion_time, r.completion_hops};
+      },
+      [](SweepAgg a, const SweepAgg& b) {
+        a.events += b.events;
+        a.messages += b.messages;
+        a.total_time += b.total_time;  // trial order: bitwise reproducible
+        a.max_hops = std::max(a.max_hops, b.max_hops);
+        return a;
+      });
+}
+
+TEST(TrialRunnerDeterminism, AggregatesIdenticalAtOneAndManyThreads) {
+  const SweepAgg serial = run_trial_sweep(1);
+  EXPECT_GT(serial.events, 0);
+  for (const int threads : {2, 4, 8}) {
+    const SweepAgg parallel = run_trial_sweep(threads);
+    EXPECT_EQ(parallel.events, serial.events) << threads;
+    EXPECT_EQ(parallel.messages, serial.messages) << threads;
+    // Doubles summed in fixed trial order: bitwise equality.
+    EXPECT_EQ(parallel.total_time, serial.total_time) << threads;
+    EXPECT_EQ(parallel.max_hops, serial.max_hops) << threads;
+  }
+  core::set_global_thread_count(core::ThreadPool::default_thread_count());
 }
 
 }  // namespace

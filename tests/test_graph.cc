@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -153,6 +155,42 @@ TEST(Graph, Describe) {
   const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}};
   Graph g = Graph::from_edges(3, edges);
   EXPECT_EQ(describe(g), "Graph(n=3, m=3, deg 2..2)");
+}
+
+TEST(Graph, ArcAndEdgeIndicesAreConsistent) {
+  // Triangle plus a pendant: mixed degrees exercise the CSR offsets.
+  Graph g = Graph::from_edges(
+      4, std::vector<Edge>{{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  EXPECT_EQ(g.num_arcs(), 2 * g.num_edges());
+  // Every arc (u, v): a valid dense id, a twin pointing back, and an
+  // undirected edge id shared with the twin and matching edges()[id].
+  const auto edges = g.edges();
+  std::vector<int> edge_hits(edges.size(), 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      const std::int32_t uv = g.arc_index(u, v);
+      ASSERT_GE(uv, 0);
+      ASSERT_LT(uv, g.num_arcs());
+      const std::int32_t vu = g.twin_arc(uv);
+      EXPECT_EQ(vu, g.arc_index(v, u));
+      EXPECT_EQ(g.twin_arc(vu), uv);
+      const std::int32_t e = g.edge_index(u, v);
+      ASSERT_GE(e, 0);
+      ASSERT_LT(e, g.num_edges());
+      EXPECT_EQ(e, g.edge_of_arc(uv));
+      EXPECT_EQ(e, g.edge_index(v, u));  // undirected: same id both ways
+      const Edge canonical = edges[static_cast<std::size_t>(e)];
+      EXPECT_EQ(canonical.u, std::min(u, v));
+      EXPECT_EQ(canonical.v, std::max(u, v));
+      ++edge_hits[static_cast<std::size_t>(e)];
+    }
+  }
+  for (const int hits : edge_hits) EXPECT_EQ(hits, 2);  // one per direction
+  // Non-adjacent pairs and self-queries come back as -1, not a throw.
+  EXPECT_EQ(g.arc_index(0, 3), -1);
+  EXPECT_EQ(g.edge_index(0, 3), -1);
+  EXPECT_EQ(g.arc_index(1, 1), -1);
+  EXPECT_EQ(g.edge_index(3, 3), -1);
 }
 
 TEST(Graph, LargeCsrConsistency) {

@@ -67,6 +67,23 @@ TEST(Heartbeat, GenerousTimeoutSuppressesFalseSuspicions) {
   EXPECT_EQ(result.false_suspicions, 0);
 }
 
+TEST(Heartbeat, LinkFailureMakesBothEndpointsSuspectEachOther) {
+  // Cut one link mid-run: both (live) endpoints stop hearing each other
+  // and must raise a suspicion within the timeout — counted as false
+  // suspicions because neither node actually crashed.
+  const auto g = lhg::build(22, 3);
+  const core::NodeId u = 0;
+  const core::NodeId v = g.neighbors(0)[0];
+  FailurePlan plan;
+  plan.link_failures.push_back({{u, v}, 10.0});
+  const auto result = run_heartbeat(
+      g, {.interval = 1.0, .timeout = 3.0, .horizon = 30.0}, plan);
+  // Exactly the two directed arcs across the cut go silent; every other
+  // pair keeps beating.
+  EXPECT_EQ(result.false_suspicions, 2);
+  EXPECT_TRUE(result.detections.empty());
+}
+
 TEST(Heartbeat, CrashAfterHorizonIgnored) {
   const auto g = lhg::build(10, 3);
   FailurePlan plan;

@@ -78,6 +78,30 @@ TEST(Network, CrashedReceiverDropsInFlight) {
   EXPECT_EQ(net.messages_sent(), 1);  // the attempt still cost a message
 }
 
+TEST(Network, SenderCrashDoesNotRecallInFlightMessages) {
+  // Fail-stop semantics: the sender's state is checked at *send* time
+  // only.  A copy already in flight when the sender dies still arrives;
+  // a crash does not reach back into the network and recall packets.
+  Simulator sim;
+  core::Rng rng(1);
+  Graph g = path3();
+  Network net(g, sim, LatencySpec::fixed(5.0), rng);
+  std::vector<Delivery> log;
+  net.set_receive_handler([&](NodeId to, NodeId from, std::int64_t msg) {
+    log.push_back({to, from, msg, sim.now()});
+  });
+  EXPECT_TRUE(net.send(0, 1, 7));  // arrives at t=5
+  net.crash_at(0, 2.0);            // sender dies mid-flight
+  sim.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].to, 1);
+  EXPECT_EQ(log[0].from, 0);
+  EXPECT_DOUBLE_EQ(log[0].time, 5.0);
+  // But the crash does block every later send.
+  EXPECT_FALSE(net.send(0, 1, 8));
+  EXPECT_EQ(net.messages_sent(), 1);
+}
+
 TEST(Network, LinkFailureDropsMessages) {
   Simulator sim;
   core::Rng rng(1);
