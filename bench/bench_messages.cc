@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
       proto.agg = runner.run<Agg>(
           trials, Agg{},
           [&](std::int64_t, core::Rng& rng) {
-            const auto plan = random_crashes(g, k - 1, 0, rng);
+            const auto plan = random_crashes(g, k - 1, 0, rng, /*time=*/0.0);
             return account(one_trial(rng(), plan));
           },
           Agg::merge);

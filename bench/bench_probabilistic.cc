@@ -41,7 +41,7 @@ int main() {
       double msgs = 0;
       for (int t = 0; t < kTrials; ++t) {
         core::Rng failure_rng(static_cast<std::uint64_t>(t) * 31 + 1);
-        const auto plan = random_crashes(g, f, 0, failure_rng);
+        const auto plan = random_crashes(g, f, 0, failure_rng, /*time=*/0.0);
         const auto result = probabilistic_flood(
             g, {.source = 0, .forward_probability = p,
                 .seed = static_cast<std::uint64_t>(t) + 1},

@@ -50,8 +50,8 @@ int main(int argc, char** argv) {
         rng.next_below(static_cast<std::uint64_t>(budget) + 1));
     const auto link_count = budget - crash_count;
 
-    FailurePlan plan = random_crashes(g, crash_count, source, rng);
-    auto links = random_link_failures(g, link_count, rng);
+    FailurePlan plan = random_crashes(g, crash_count, source, rng, /*time=*/0.0);
+    auto links = random_link_failures(g, link_count, rng, /*time=*/0.0);
     plan.link_failures = std::move(links.link_failures);
     // A third of the failures strike mid-flood rather than up front.
     for (auto& crash : plan.crashes) {

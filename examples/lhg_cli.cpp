@@ -98,7 +98,7 @@ int cmd_flood(int argc, char** argv) {
   const auto g = lhg::core::read_edge_list(std::cin);
   lhg::core::Rng rng(1);
   const auto plan =
-      lhg::flooding::random_crashes(g, crashes, source, rng);
+      lhg::flooding::random_crashes(g, crashes, source, rng, /*time=*/0.0);
   const auto result = lhg::flooding::flood(g, {.source = source}, plan);
   std::cout << format(
       "delivered {}/{} live nodes in {} hops with {} messages [{}]\n",

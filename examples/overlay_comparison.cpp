@@ -67,12 +67,12 @@ int main(int argc, char** argv) {
         FailurePlan plan;
         // Gossip has no overlay; crash random non-source nodes directly.
         const auto g_for_failures = candidates[0].graph;
-        plan = random_crashes(g_for_failures, k - 1, 0, trial_rng);
+        plan = random_crashes(g_for_failures, k - 1, 0, trial_rng, /*time=*/0.0);
         result = gossip(
             n, {.source = 0, .fanout = 4,
                 .seed = static_cast<std::uint64_t>(t)}, plan);
       } else {
-        const auto plan = random_crashes(candidate.graph, k - 1, 0, trial_rng);
+        const auto plan = random_crashes(candidate.graph, k - 1, 0, trial_rng, /*time=*/0.0);
         result = flood(candidate.graph,
                        {.source = 0, .seed = static_cast<std::uint64_t>(t)},
                        plan);

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
 
   // 3. Flood it with k-1 adversarial crashes: delivery must be total.
   lhg::core::Rng rng(42);
-  const auto plan = lhg::flooding::cut_targeted_crashes(graph, k - 1, 0, rng);
+  const auto plan = lhg::flooding::cut_targeted_crashes(graph, k - 1, 0, rng, /*time=*/0.0);
   const auto flood = lhg::flooding::flood(graph, {.source = 0}, plan);
   std::cout << format(
       "flood under {} adversarial crashes: delivered {}/{} live nodes in {} "

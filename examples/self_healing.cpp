@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
 
   // 2. k−1 crashes at t = 10 (mid-operation).
   core::Rng rng(7);
-  flooding::FailurePlan plan = flooding::random_crashes(g, k - 1, 0, rng);
+  flooding::FailurePlan plan = flooding::random_crashes(g, k - 1, 0, rng, /*time=*/0.0);
   for (auto& crash : plan.crashes) crash.time = 10.0;
   std::cout << format("[t1] crashing {} nodes at t=10:", k - 1);
   for (const auto& crash : plan.crashes) std::cout << ' ' << crash.node;

@@ -1,10 +1,19 @@
 // Failure-plan generation for the fault-tolerance experiments.
 //
-// A FailurePlan is the adversary's move: which nodes crash and which
-// links fail, and when.  Generators cover the spectrum the evaluation
-// needs — uniformly random crashes (E5/E7), degree-targeted crashes,
-// minimum-cut-targeted crashes (the strongest adversary: it aims at an
-// actual minimum vertex cut of the topology), and random link cuts.
+// A FailurePlan is the adversary's move: which nodes crash (and, in the
+// crash-recovery model, when they come back), which links fail or flap,
+// which partitions cut the overlay — and when.  Generators cover the
+// spectrum the evaluation needs — uniformly random crashes (E5/E7),
+// degree-targeted crashes, minimum-cut-targeted crashes (the strongest
+// adversary: it aims at an actual minimum vertex cut of the topology),
+// random link cuts, timed crash-recovery cycles, link flaps, and
+// partition schedules.  Every generator takes the injection time as an
+// argument, so adversaries can strike mid-broadcast, and plans compose
+// with `operator|=`-style merging via `compose`.
+//
+// `apply_failure_plan` is the single place a plan meets a Network:
+// time <= 0 entries fire before the first protocol event, later ones
+// are scheduled on the simulator.
 
 #pragma once
 
@@ -16,7 +25,16 @@
 
 namespace lhg::flooding {
 
+class Network;
+
 struct NodeCrash {
+  core::NodeId node;
+  double time = 0.0;
+};
+
+/// Crash-recovery model: `node` rejoins (with no protocol state) at
+/// `time`.  Meaningful only with a matching earlier NodeCrash.
+struct NodeRecovery {
   core::NodeId node;
   double time = 0.0;
 };
@@ -26,35 +44,97 @@ struct LinkFailure {
   double time = 0.0;
 };
 
+/// Transient link failure: down during [down, up).
+struct LinkFlap {
+  core::Edge link;
+  double down = 0.0;
+  double up = 0.0;
+};
+
+/// Bipartition cut active during [start, end): messages between nodes
+/// on different sides are blocked/dropped for the window.
+struct PartitionWindow {
+  std::vector<std::uint8_t> side;  // one entry per node, 0 or 1
+  double start = 0.0;
+  double end = 0.0;
+};
+
 struct FailurePlan {
   std::vector<NodeCrash> crashes;
   std::vector<LinkFailure> link_failures;
+  std::vector<NodeRecovery> recoveries;
+  std::vector<LinkFlap> flaps;
+  std::vector<PartitionWindow> partitions;
 
   std::size_t total_failures() const {
-    return crashes.size() + link_failures.size();
+    return crashes.size() + link_failures.size() + flaps.size() +
+           partitions.size();
   }
 };
 
-/// `count` distinct nodes crash at time 0, chosen uniformly at random,
+/// Appends every entry of `extra` to `plan` (the composed adversary).
+void compose(FailurePlan& plan, const FailurePlan& extra);
+
+/// `count` distinct nodes crash at `time`, chosen uniformly at random,
 /// never including `protect` (the broadcast source).  Requires
 /// count <= n - 1.
 FailurePlan random_crashes(const core::Graph& g, std::int32_t count,
-                           core::NodeId protect, core::Rng& rng);
+                           core::NodeId protect, core::Rng& rng,
+                           double time = 0.0);
 
-/// The `count` highest-degree nodes crash at time 0 (ties by id),
+/// The `count` highest-degree nodes crash at `time` (ties by id),
 /// skipping `protect`.
 FailurePlan targeted_crashes(const core::Graph& g, std::int32_t count,
-                             core::NodeId protect);
+                             core::NodeId protect, double time = 0.0);
 
 /// Crashes `count` nodes drawn from a minimum vertex cut of `g` (the
-/// strongest structural adversary).  If the cut is smaller than `count`,
-/// the remainder is filled with random nodes; `protect` is never chosen.
+/// strongest structural adversary) at `time`.  If the cut is smaller
+/// than `count`, the remainder is filled with random nodes; `protect`
+/// is never chosen.
 FailurePlan cut_targeted_crashes(const core::Graph& g, std::int32_t count,
-                                 core::NodeId protect, core::Rng& rng);
+                                 core::NodeId protect, core::Rng& rng,
+                                 double time = 0.0);
 
-/// `count` distinct links fail at time 0, chosen uniformly at random.
+/// `count` distinct links fail at `time`, chosen uniformly at random.
 /// Requires count <= m.
 FailurePlan random_link_failures(const core::Graph& g, std::int32_t count,
-                                 core::Rng& rng);
+                                 core::Rng& rng, double time = 0.0);
+
+/// Crash-recovery cycles: `count` distinct random nodes (never
+/// `protect`) crash at `crash_time` and recover `downtime` later.
+FailurePlan random_crash_recoveries(const core::Graph& g, std::int32_t count,
+                                    core::NodeId protect, core::Rng& rng,
+                                    double crash_time, double downtime);
+
+/// `count` distinct random links go down at `down` and come back at
+/// `up` (down < up).
+FailurePlan random_link_flaps(const core::Graph& g, std::int32_t count,
+                              core::Rng& rng, double down, double up);
+
+/// A uniformly random bipartition cut active during [start, end): each
+/// node lands on side 1 independently with probability `fraction`
+/// (side 0 is forced non-empty by pinning node 0 to it).
+FailurePlan random_partition(const core::Graph& g, core::Rng& rng,
+                             double start, double end, double fraction = 0.5);
+
+/// Partition along a minimum vertex cut: the cut nodes and one side of
+/// the split they induce form side 1, active during [start, end).
+/// Falls back to random_partition when `g` has no vertex cut (complete
+/// graph).
+FailurePlan cut_partition(const core::Graph& g, core::Rng& rng, double start,
+                          double end);
+
+/// The strongest composed adversary: `count` cut-targeted crashes at
+/// `crash_time` plus a minimum-cut-aligned partition over
+/// [partition_start, partition_end).
+FailurePlan adversarial_chaos(const core::Graph& g, std::int32_t count,
+                              core::NodeId protect, core::Rng& rng,
+                              double crash_time, double partition_start,
+                              double partition_end);
+
+/// Applies `plan` to a live network: entries with time <= 0 fire
+/// immediately (before the first protocol event), later ones are
+/// scheduled at their absolute times.
+void apply_failure_plan(Network& net, const FailurePlan& plan);
 
 }  // namespace lhg::flooding

@@ -22,20 +22,9 @@ HeartbeatResult run_heartbeat(const core::Graph& topology,
   Network net(topology, sim, cfg.latency, rng, cfg.loss_probability);
   std::vector<std::pair<NodeId, double>> crash_time;  // plan order
   for (const NodeCrash& crash : failures.crashes) {
-    if (crash.time <= 0.0) {
-      net.crash_now(crash.node);
-    } else {
-      net.crash_at(crash.node, crash.time);
-      crash_time.emplace_back(crash.node, crash.time);
-    }
+    if (crash.time > 0.0) crash_time.emplace_back(crash.node, crash.time);
   }
-  for (const LinkFailure& failure : failures.link_failures) {
-    if (failure.time <= 0.0) {
-      net.fail_link_now(failure.link.u, failure.link.v);
-    } else {
-      net.fail_link_at(failure.link.u, failure.link.v, failure.time);
-    }
-  }
+  apply_failure_plan(net, failures);
 
   HeartbeatResult result;
   // Per-(observer, target) monitoring state is per *directed arc* of

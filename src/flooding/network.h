@@ -1,19 +1,33 @@
 // Message-passing network over a fixed overlay topology.
 //
 // Nodes communicate only along the edges of a core::Graph; the Network
-// owns fail-stop crash state, link failures, per-link latencies and the
-// message counter.  A message sent at time t arrives at t + latency(link)
-// unless, at the *delivery* instant, the receiver has crashed or the
-// link has failed.  A sender crash only blocks *future* sends: under
-// fail-stop, copies already in flight when the sender dies still arrive
-// (pinned by the regression tests in test_network.cc).
+// owns crash/recovery state, link failures and flaps, partition windows,
+// per-link latencies, the adversarial channel model (ChaosSpec) and the
+// robustness counters (NetworkStats).  A message sent at time t arrives
+// at t + latency(link) unless it is dropped by the channel, or, at the
+// *delivery* instant, the receiver is crashed, the link is down, or an
+// active partition separates the endpoints.  A sender crash only blocks
+// *future* sends: under fail-stop, copies already in flight when the
+// sender dies still arrive (pinned by the regression tests in
+// test_network.cc).  Crash-recovery is symmetric: recover_* clears the
+// crash flag, so copies that would arrive during the down window are
+// lost while later arrivals (and later sends) succeed.
 //
 // All per-link state is edge-indexed: `Graph::edge_index` maps {u,v} to
-// a dense id once per send, and latencies / failure flags are flat
-// vectors over those ids.  For kUniformPerLink the latencies are drawn
-// up front, one per link in canonical edge order, so the send path is
-// branch-light and allocation-free; deliveries ride the Simulator's
-// typed deliver events straight back into this class.
+// a dense id once per send, and latencies / failure flags / channel
+// states are flat vectors over those ids.  For kUniformPerLink the
+// latencies are drawn up front, one per link in canonical edge order,
+// so the send path is branch-light and allocation-free; deliveries ride
+// the Simulator's typed deliver events straight back into this class.
+//
+// Rng consumption order per transmission (the determinism contract — a
+// disabled knob consumes no draws, so chaos-free runs reproduce the
+// golden traces bit for bit):
+//   1. Gilbert–Elliott state transition, if enabled (one draw);
+//   2. the loss draw (i.i.d. probability, or the GE state's);
+//   3. the duplication draw, if duplication is enabled;
+//   4. per scheduled copy: the latency sample (kUniformPerSend only),
+//      then the reorder draw and, when it hits, the extra-delay draw.
 
 #pragma once
 
@@ -47,16 +61,93 @@ struct LatencySpec {
   }
 };
 
+/// Adversarial channel model, applied per transmission.  All knobs
+/// default off, in which case the Network consumes no Rng draws on the
+/// send path (the golden-trace determinism contract).
+struct ChaosSpec {
+  /// I.i.d. per-transmission drop probability in [0, 1).  Ignored when
+  /// the Gilbert–Elliott channel is enabled.
+  double loss = 0.0;
+
+  /// Probability that a transmission is duplicated (two independent
+  /// copies are delivered; both count the same send).
+  double duplicate = 0.0;
+
+  /// Probability that a delivered copy picks up extra delay, uniform in
+  /// [0, reorder_jitter] — out-of-order delivery relative to FIFO links.
+  double reorder = 0.0;
+  double reorder_jitter = 0.0;
+
+  /// Gilbert–Elliott bursty channel: each link is a two-state Markov
+  /// chain advanced once per transmission; the loss probability depends
+  /// on the state.  Models correlated (bursty) loss.
+  bool gilbert_elliott = false;
+  double ge_good_to_bad = 0.05;  ///< P(good -> bad) per transmission
+  double ge_bad_to_good = 0.25;  ///< P(bad -> good) per transmission
+  double ge_loss_good = 0.0;     ///< drop probability in the good state
+  double ge_loss_bad = 0.5;      ///< drop probability in the bad state
+
+  static ChaosSpec none() { return {}; }
+  static ChaosSpec iid(double p) {
+    ChaosSpec c;
+    c.loss = p;
+    return c;
+  }
+  static ChaosSpec bursty(double good_to_bad, double bad_to_good,
+                          double loss_bad) {
+    ChaosSpec c;
+    c.gilbert_elliott = true;
+    c.ge_good_to_bad = good_to_bad;
+    c.ge_bad_to_good = bad_to_good;
+    c.ge_loss_bad = loss_bad;
+    return c;
+  }
+
+  bool lossy() const { return loss > 0.0 || gilbert_elliott; }
+  bool enabled() const {
+    return lossy() || duplicate > 0.0 || reorder > 0.0;
+  }
+};
+
+/// Robustness counters.  `sent` counts transmission attempts accepted by
+/// send()/send_link(); every accepted transmission ends in exactly one
+/// of {delivered, lost, dropped_*} per scheduled copy, and `duplicated`
+/// counts the extra copies on top.
+struct NetworkStats {
+  std::int64_t sent = 0;        ///< accepted transmissions
+  std::int64_t delivered = 0;   ///< copies handed to the receive handler
+  std::int64_t lost = 0;        ///< copies dropped by the loss model
+  std::int64_t duplicated = 0;  ///< extra copies injected by duplication
+
+  std::int64_t blocked_sender_crashed = 0;  ///< sends refused: dead sender
+  std::int64_t blocked_link_down = 0;       ///< sends refused: link down
+  std::int64_t blocked_partition = 0;       ///< sends refused: cut crossing
+
+  std::int64_t dropped_receiver_crashed = 0;  ///< in flight, receiver dead
+  std::int64_t dropped_link_down = 0;         ///< in flight, link cut
+  std::int64_t dropped_partition = 0;         ///< in flight, cut activated
+
+  /// In-flight copies that never reached the handler, any cause.
+  std::int64_t undelivered() const {
+    return lost + dropped_receiver_crashed + dropped_link_down +
+           dropped_partition;
+  }
+};
+
 class Network final : private Simulator::DeliverSink {
  public:
   /// `topology` and `sim` must outlive the Network.  `rng` is consumed
-  /// for latency sampling and loss draws (may be shared with the
+  /// for latency sampling and chaos draws (may be shared with the
   /// caller); with kUniformPerLink every link's latency is drawn here,
-  /// in canonical edge order.  `loss_probability` drops each
-  /// transmission independently with that probability (the message is
-  /// still counted as sent).
+  /// in canonical edge order.
   Network(const core::Graph& topology, Simulator& sim, LatencySpec latency,
-          core::Rng& rng, double loss_probability = 0.0);
+          core::Rng& rng, const ChaosSpec& chaos);
+
+  /// Back-compat convenience: `loss_probability` is ChaosSpec::iid.
+  Network(const core::Graph& topology, Simulator& sim, LatencySpec latency,
+          core::Rng& rng, double loss_probability = 0.0)
+      : Network(topology, sim, latency, rng,
+                ChaosSpec::iid(loss_probability)) {}
 
   // In-flight deliver events hold a pointer to this Network.
   Network(const Network&) = delete;
@@ -79,10 +170,34 @@ class Network final : private Simulator::DeliverSink {
   /// Schedules a crash at absolute virtual time `at`.
   void crash_at(core::NodeId node, double at);
 
+  /// Crash-recovery model: the node comes back with no protocol state
+  /// (state restoration is the protocol's problem, not the network's).
+  /// Copies that arrived during the down window stay lost; arrivals and
+  /// sends after the recovery instant succeed.  Idempotent.
+  void recover_now(core::NodeId node);
+  void recover_at(core::NodeId node, double at);
+
   /// Fails the link {u, v} immediately / at time `at`.  Messages in
   /// flight on the link at failure time are lost.
   void fail_link_now(core::NodeId u, core::NodeId v);
   void fail_link_at(core::NodeId u, core::NodeId v, double at);
+
+  /// Brings a failed link back up (a "flap" is fail_link_at + this).
+  /// Idempotent.
+  void restore_link_now(core::NodeId u, core::NodeId v);
+  void restore_link_at(core::NodeId u, core::NodeId v, double at);
+
+  /// Activates a bipartition: `side` maps every node to 0 or 1, and
+  /// while active every transmission whose endpoints disagree is
+  /// blocked at send time and dropped at delivery time.  One partition
+  /// is active at a time (a new call replaces the old cut).
+  void set_partition(std::vector<std::uint8_t> side);
+  void clear_partition();
+  bool partition_active() const { return partition_active_; }
+
+  /// Schedules the partition for the window [start, end).
+  void partition_during(std::vector<std::uint8_t> side, double start,
+                        double end);
 
   bool is_alive(core::NodeId node) const {
     return crashed_[static_cast<std::size_t>(node)] == 0;
@@ -92,8 +207,9 @@ class Network final : private Simulator::DeliverSink {
 
   /// Sends `message` from `from` to its neighbor `to`.  Throws if the
   /// nodes are not adjacent in the topology.  Returns false (and sends
-  /// nothing) if the sender is crashed or the link already failed.
-  /// Counts one message on every actual transmission attempt.
+  /// nothing) if the sender is crashed, the link is down, or an active
+  /// partition separates the endpoints.  Counts one message on every
+  /// actual transmission attempt.
   bool send(core::NodeId from, core::NodeId to, std::int64_t message);
 
   /// Fast-path send for callers that already hold the dense edge id of
@@ -103,10 +219,13 @@ class Network final : private Simulator::DeliverSink {
   bool send_link(core::NodeId from, core::NodeId to, std::int32_t link,
                  std::int64_t message);
 
-  std::int64_t messages_sent() const { return messages_sent_; }
+  /// Robustness counters (see NetworkStats).
+  const NetworkStats& stats() const { return stats_; }
 
-  /// Transmissions dropped by the lossy-link model so far.
-  std::int64_t messages_lost() const { return messages_lost_; }
+  std::int64_t messages_sent() const { return stats_.sent; }
+
+  /// Transmissions dropped by the loss model so far.
+  std::int64_t messages_lost() const { return stats_.lost; }
 
  private:
   // Typed-event entry point: delivery-instant checks, then the handler.
@@ -115,18 +234,33 @@ class Network final : private Simulator::DeliverSink {
 
   double sample_latency(std::int32_t link);
 
+  // Advances the channel for one transmission; true = the copy drops.
+  bool channel_drops(std::int32_t link);
+
+  // Schedules one delivery copy (latency + optional reorder jitter).
+  void schedule_copy(core::NodeId from, core::NodeId to, std::int32_t link,
+                     std::int64_t message);
+
+  bool partition_cuts(core::NodeId u, core::NodeId v) const {
+    return partition_active_ &&
+           partition_side_[static_cast<std::size_t>(u)] !=
+               partition_side_[static_cast<std::size_t>(v)];
+  }
+
   const core::Graph* topology_;
   Simulator* sim_;
   LatencySpec latency_;
   core::Rng* rng_;
-  double loss_probability_ = 0.0;
-  std::int64_t messages_lost_ = 0;
+  ChaosSpec chaos_;
+  NetworkStats stats_;
   ReceiveHandler on_receive_;
   std::vector<std::uint8_t> crashed_;  // byte-wide: hot-path loads, no bit ops
   std::int32_t alive_count_ = 0;
-  std::vector<double> link_latency_;        // per edge id (kUniformPerLink)
-  std::vector<std::uint8_t> link_failed_;   // per edge id
-  std::int64_t messages_sent_ = 0;
+  std::vector<double> link_latency_;      // per edge id (kUniformPerLink)
+  std::vector<std::uint8_t> link_failed_;  // per edge id
+  std::vector<std::uint8_t> link_bad_;     // per edge id: GE channel state
+  std::vector<std::uint8_t> partition_side_;  // per node; empty until set
+  bool partition_active_ = false;
 };
 
 }  // namespace lhg::flooding

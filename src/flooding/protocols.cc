@@ -16,25 +16,6 @@ void check_source(const NodeId source, const NodeId n) {
   LHG_CHECK_RANGE(source, n);
 }
 
-/// Applies a failure plan to a live network (time-0 failures fire
-/// before the first protocol event; later ones are scheduled).
-void apply_failures(Network& net, const FailurePlan& failures) {
-  for (const NodeCrash& crash : failures.crashes) {
-    if (crash.time <= 0.0) {
-      net.crash_now(crash.node);
-    } else {
-      net.crash_at(crash.node, crash.time);
-    }
-  }
-  for (const LinkFailure& failure : failures.link_failures) {
-    if (failure.time <= 0.0) {
-      net.fail_link_now(failure.link.u, failure.link.v);
-    } else {
-      net.fail_link_at(failure.link.u, failure.link.v, failure.time);
-    }
-  }
-}
-
 /// Fills the aggregate fields from per-node state.
 void finalize(DisseminationResult& result, const std::vector<bool>& alive) {
   result.alive_nodes = 0;
@@ -70,8 +51,8 @@ DisseminationResult flood(const core::Graph& topology, const FloodConfig& cfg,
   check_source(cfg.source, topology.num_nodes());
   Simulator sim;
   core::Rng rng(cfg.seed);
-  Network net(topology, sim, cfg.latency, rng);
-  apply_failures(net, failures);
+  Network net(topology, sim, cfg.latency, rng, cfg.chaos);
+  apply_failure_plan(net, failures);
 
   DisseminationResult result;
   const auto n = static_cast<std::size_t>(topology.num_nodes());
@@ -105,6 +86,7 @@ DisseminationResult flood(const core::Graph& topology, const FloodConfig& cfg,
 
   result.messages_sent = net.messages_sent();
   result.events_processed = sim.events_processed();
+  result.net = net.stats();
   finalize(result, alive_mask(net));
   return result;
 }
@@ -119,7 +101,7 @@ DisseminationResult probabilistic_flood(const core::Graph& topology,
   core::Rng rng(cfg.seed);
   core::Rng coin = rng.split();
   Network net(topology, sim, cfg.latency, rng);
-  apply_failures(net, failures);
+  apply_failure_plan(net, failures);
 
   DisseminationResult result;
   const auto n = static_cast<std::size_t>(topology.num_nodes());
@@ -155,6 +137,7 @@ DisseminationResult probabilistic_flood(const core::Graph& topology,
 
   result.messages_sent = net.messages_sent();
   result.events_processed = sim.events_processed();
+  result.net = net.stats();
   finalize(result, alive_mask(net));
   return result;
 }
@@ -276,7 +259,7 @@ DisseminationResult spanning_tree_multicast(const core::Graph& topology,
   Simulator sim;
   core::Rng rng(cfg.seed);
   Network net(topology, sim, cfg.latency, rng);
-  apply_failures(net, failures);
+  apply_failure_plan(net, failures);
 
   DisseminationResult result;
   result.delivery_time.assign(n, -1.0);
@@ -305,6 +288,7 @@ DisseminationResult spanning_tree_multicast(const core::Graph& topology,
 
   result.messages_sent = net.messages_sent();
   result.events_processed = sim.events_processed();
+  result.net = net.stats();
   finalize(result, alive_mask(net));
   return result;
 }

@@ -28,6 +28,9 @@ struct DisseminationResult {
   /// Simulator events executed (0 for round-based protocols that never
   /// touch the event engine); the benches' throughput denominator.
   std::int64_t events_processed = 0;
+  /// Network robustness counters (all-zero for round-based protocols
+  /// that never touch a Network).
+  NetworkStats net{};
   std::int32_t alive_nodes = 0;      // nodes never crashed during the run
   std::int32_t delivered_alive = 0;  // alive nodes that got the message
 
@@ -48,7 +51,9 @@ struct DisseminationResult {
 struct FloodConfig {
   core::NodeId source = 0;
   LatencySpec latency = LatencySpec::fixed(1.0);
-  std::uint64_t seed = 1;  // drives latency jitter only
+  std::uint64_t seed = 1;  // drives latency jitter and chaos draws
+  /// Adversarial channel conditions (loss, duplication, reordering).
+  ChaosSpec chaos{};
 };
 
 /// Deterministic flooding: the source sends to all overlay neighbors;

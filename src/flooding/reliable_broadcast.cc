@@ -1,25 +1,15 @@
 #include "flooding/reliable_broadcast.h"
 
-#include <functional>
+#include <algorithm>
 
 #include "core/check.h"
 #include "core/rng.h"
 #include "flooding/network.h"
+#include "flooding/reliable_link.h"
 
 namespace lhg::flooding {
 
 using core::NodeId;
-
-namespace {
-
-// Payload wire format: bit 0 = type (0 DATA, 1 ACK); DATA carries the
-// hop count in the remaining bits.
-constexpr std::int64_t kAck = 1;
-constexpr std::int64_t data_payload(std::int64_t hops) { return hops << 1; }
-constexpr bool is_ack(std::int64_t payload) { return (payload & 1) != 0; }
-constexpr std::int64_t hops_of(std::int64_t payload) { return payload >> 1; }
-
-}  // namespace
 
 ReliableBroadcastResult reliable_broadcast(const core::Graph& topology,
                                            const ReliableBroadcastConfig& cfg,
@@ -31,50 +21,28 @@ ReliableBroadcastResult reliable_broadcast(const core::Graph& topology,
 
   Simulator sim;
   core::Rng rng(cfg.seed);
-  Network net(topology, sim, cfg.latency, rng, cfg.loss_probability);
-  for (const NodeCrash& crash : failures.crashes) {
-    if (crash.time <= 0.0) {
-      net.crash_now(crash.node);
-    } else {
-      net.crash_at(crash.node, crash.time);
-    }
-  }
-  for (const LinkFailure& failure : failures.link_failures) {
-    if (failure.time <= 0.0) {
-      net.fail_link_now(failure.link.u, failure.link.v);
-    } else {
-      net.fail_link_at(failure.link.u, failure.link.v, failure.time);
-    }
-  }
+  const ChaosSpec chaos = cfg.chaos.enabled()
+                              ? cfg.chaos
+                              : ChaosSpec::iid(cfg.loss_probability);
+  Network net(topology, sim, cfg.latency, rng, chaos);
+  apply_failure_plan(net, failures);
+
+  BackoffPolicy backoff;
+  backoff.base = cfg.retransmit_interval;
+  backoff.factor = cfg.backoff_factor;
+  backoff.max = cfg.backoff_max;
+  backoff.jitter = cfg.backoff_jitter;
+  backoff.max_retries = cfg.max_retries;
+  ReliableLink link(net, backoff, rng);
 
   ReliableBroadcastResult result;
   const auto n = static_cast<std::size_t>(topology.num_nodes());
   result.delivery_time.assign(n, -1.0);
   result.delivery_hops.assign(n, -1);
-  // "DATA from u to v has been acknowledged", per directed arc u→v.
-  std::vector<std::uint8_t> acked(
-      static_cast<std::size_t>(topology.num_arcs()), 0);
 
-  // Reliable per-link transmission: send now, re-send every interval
-  // until the copy is acknowledged or retries run out.  `arc` is the
-  // CSR arc id of from→to: it indexes `acked` and yields the edge id,
-  // so retries never re-search the adjacency.
-  std::function<void(NodeId, NodeId, std::int32_t, std::int64_t, std::int32_t)>
-      transmit = [&](NodeId from, NodeId to, std::int32_t arc,
-                     std::int64_t hops, std::int32_t attempt) {
-        if (acked[static_cast<std::size_t>(arc)] != 0) return;
-        if (!net.send_link(from, to, topology.edge_of_arc(arc),
-                           data_payload(hops))) {
-          return;  // dead path
-        }
-        if (attempt > 0) ++result.retransmissions;
-        if (attempt >= cfg.max_retries) return;
-        sim.schedule_in(cfg.retransmit_interval,
-                        [&transmit, from, to, arc, hops, attempt] {
-                          transmit(from, to, arc, hops, attempt + 1);
-                        });
-      };
-
+  // First copy delivers and forwards; ReliableLink already suppressed
+  // duplicates, but a node can still hear the payload over several
+  // distinct arcs — only the first one relays.
   auto deliver_and_forward = [&](NodeId self, NodeId except,
                                  std::int64_t hops) {
     auto& t = result.delivery_time[static_cast<std::size_t>(self)];
@@ -84,22 +52,12 @@ ReliableBroadcastResult reliable_broadcast(const core::Graph& topology,
         static_cast<std::int32_t>(hops);
     std::int32_t arc = topology.arc_begin(self);
     for (NodeId v : topology.neighbors(self)) {
-      if (v != except) transmit(self, v, arc, hops + 1, 0);
+      if (v != except) link.send_arc(self, v, arc, hops + 1);
       ++arc;
     }
   };
-
-  net.set_receive_handler([&](NodeId self, NodeId from, std::int64_t payload) {
-    const std::int32_t arc = topology.arc_index(self, from);
-    if (is_ack(payload)) {
-      acked[static_cast<std::size_t>(arc)] = 1;
-      return;
-    }
-    // Always (re-)acknowledge DATA — the previous ACK may have dropped.
-    if (net.send_link(self, from, topology.edge_of_arc(arc), kAck)) {
-      ++result.acks_sent;
-    }
-    deliver_and_forward(self, from, hops_of(payload));
+  link.set_deliver_handler([&](NodeId self, NodeId from, std::int64_t hops) {
+    deliver_and_forward(self, from, hops);
   });
 
   if (net.is_alive(cfg.source)) {
@@ -110,6 +68,10 @@ ReliableBroadcastResult reliable_broadcast(const core::Graph& topology,
   result.messages_sent = net.messages_sent();
   result.events_processed = sim.events_processed();
   result.messages_lost = net.messages_lost();
+  result.net = net.stats();
+  result.retransmissions = link.retransmissions();
+  result.acks_sent = link.acks_sent();
+  result.duplicates_suppressed = link.duplicates_suppressed();
   result.alive_nodes = 0;
   result.delivered_alive = 0;
   for (NodeId u = 0; u < topology.num_nodes(); ++u) {

@@ -1,20 +1,18 @@
 // Reliable broadcast over lossy links: flooding plus per-link
-// ACK/retransmit.
+// ACK/retransmit (the ReliableLink layer).
 //
 // Plain flooding assumes reliable channels; on lossy links a dropped
 // copy can silence a whole subtree.  This protocol keeps flooding's
-// structure but makes each link-hop reliable the way real dissemination
-// layers do:
+// structure but rides every link-hop on ReliableLink: DATA is ACKed,
+// unACKed copies are retransmitted on an (optionally exponential,
+// optionally jittered) backoff schedule until retries run out, and
+// duplicate DATA is re-ACKed but not re-forwarded.
 //
-//   * every DATA copy is acknowledged by the receiver (ACKs can be
-//     lost too);
-//   * the sender retransmits an unacknowledged copy every
-//     `retransmit_interval` until `max_retries` is exhausted;
-//   * duplicate DATA is re-ACKed but not re-forwarded.
-//
-// With loss probability p, a link-hop fails only if all 1+max_retries
-// transmissions drop (p^(r+1)); the E13 bench measures delivery and the
-// message overhead this costs versus plain flooding.
+// With i.i.d. loss probability p and fixed-interval retries, a link-hop
+// fails only if all 1+max_retries transmissions drop (p^(r+1)); the E13
+// bench measures delivery and the message overhead this costs versus
+// plain flooding.  The `chaos` field exposes the full adversarial
+// channel (bursty loss, duplication, reordering) to the E20 sweeps.
 
 #pragma once
 
@@ -31,18 +29,32 @@ struct ReliableBroadcastConfig {
   LatencySpec latency = LatencySpec::fixed(1.0);
   std::uint64_t seed = 1;
 
-  /// Per-transmission drop probability in [0, 1).
+  /// Per-transmission drop probability in [0, 1).  Ignored when `chaos`
+  /// is enabled (which subsumes it).
   double loss_probability = 0.0;
-  /// Virtual-time gap between retransmissions of an unACKed copy.
+  /// Full adversarial channel; when enabled() it replaces
+  /// `loss_probability`.
+  ChaosSpec chaos{};
+
+  /// Virtual-time gap before the first retransmission of an unACKed
+  /// copy (BackoffPolicy::base).
   double retransmit_interval = 3.0;
   /// Retransmissions per (sender, receiver) copy after the first send.
   std::int32_t max_retries = 5;
+  /// Backoff multiplier per retry; 1.0 is the classic fixed interval.
+  double backoff_factor = 1.0;
+  /// Backoff delay cap; 0 disables the cap.
+  double backoff_max = 0.0;
+  /// Multiplicative retry jitter in [0, 1); 0 keeps retries aligned
+  /// (and consumes no Rng draws).
+  double backoff_jitter = 0.0;
 };
 
 struct ReliableBroadcastResult : DisseminationResult {
   std::int64_t retransmissions = 0;
   std::int64_t acks_sent = 0;
   std::int64_t messages_lost = 0;
+  std::int64_t duplicates_suppressed = 0;
 };
 
 /// Runs the protocol to completion (all timers drained) and reports

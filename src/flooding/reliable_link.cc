@@ -1,0 +1,161 @@
+#include "flooding/reliable_link.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace lhg::flooding {
+
+using core::NodeId;
+
+namespace {
+
+constexpr std::int32_t kMaxSeq = 1024;  // bits 2..11 of the wire word
+constexpr std::size_t kSeqWords = static_cast<std::size_t>(kMaxSeq) / 64;
+
+constexpr std::int64_t kData = 0;
+constexpr std::int64_t kAck = 1;
+constexpr std::int64_t kRaw = 2;
+
+constexpr std::int64_t encode_data(std::int32_t seq, std::int64_t payload) {
+  return (payload << 12) | (static_cast<std::int64_t>(seq) << 2) | kData;
+}
+constexpr std::int64_t encode_ack(std::int32_t seq) {
+  return (static_cast<std::int64_t>(seq) << 2) | kAck;
+}
+constexpr std::int64_t encode_raw(std::int64_t payload) {
+  return (payload << 2) | kRaw;
+}
+constexpr std::int64_t type_of(std::int64_t wire) { return wire & 3; }
+constexpr std::int32_t seq_of(std::int64_t wire) {
+  return static_cast<std::int32_t>((wire >> 2) & (kMaxSeq - 1));
+}
+constexpr std::int64_t payload_of(std::int64_t wire) { return wire >> 12; }
+constexpr std::int64_t raw_payload_of(std::int64_t wire) { return wire >> 2; }
+
+bool test_bit(const std::vector<std::uint64_t>& bits, std::int32_t arc,
+              std::int32_t seq) {
+  return (bits[static_cast<std::size_t>(arc) * kSeqWords +
+               static_cast<std::size_t>(seq / 64)] &
+          (std::uint64_t{1} << (seq % 64))) != 0;
+}
+
+void set_bit(std::vector<std::uint64_t>& bits, std::int32_t arc,
+             std::int32_t seq) {
+  bits[static_cast<std::size_t>(arc) * kSeqWords +
+       static_cast<std::size_t>(seq / 64)] |= std::uint64_t{1} << (seq % 64);
+}
+
+}  // namespace
+
+double BackoffPolicy::delay(std::int32_t attempt, core::Rng& rng) const {
+  double d = base * std::pow(factor, static_cast<double>(attempt));
+  if (max > 0.0) d = std::min(d, max);
+  if (jitter > 0.0) d *= 1.0 + jitter * rng.next_double();
+  return d;
+}
+
+ReliableLink::ReliableLink(Network& net, const BackoffPolicy& backoff,
+                           core::Rng& rng)
+    : net_(&net), backoff_(backoff), rng_(&rng) {
+  LHG_CHECK(backoff.base > 0.0 && backoff.factor >= 1.0 &&
+                backoff.max >= 0.0 && backoff.jitter >= 0.0 &&
+                backoff.jitter < 1.0 && backoff.max_retries >= 0,
+            "reliable_link: bad backoff (base={}, factor={}, max={}, "
+            "jitter={}, retries={})",
+            backoff.base, backoff.factor, backoff.max, backoff.jitter,
+            backoff.max_retries);
+  const auto arcs = static_cast<std::size_t>(net.topology().num_arcs());
+  next_seq_.assign(arcs, 0);
+  acked_.assign(arcs * kSeqWords, 0);
+  delivered_.assign(arcs * kSeqWords, 0);
+  net.set_receive_handler([this](NodeId self, NodeId from, std::int64_t wire) {
+    on_receive(self, from, wire);
+  });
+}
+
+bool ReliableLink::send(NodeId from, NodeId to, std::int64_t payload) {
+  return send_arc(from, to, net_->topology().arc_index(from, to), payload);
+}
+
+bool ReliableLink::send_arc(NodeId from, NodeId to, std::int32_t arc,
+                            std::int64_t payload) {
+  LHG_DCHECK(payload >= 0 && (payload >> 51) == 0,
+             "reliable_link: payload {} does not fit in 52 bits", payload);
+  const auto a = static_cast<std::size_t>(arc);
+  LHG_CHECK(next_seq_[a] < kMaxSeq,
+            "reliable_link: arc {} exhausted its {} sequence numbers", arc,
+            kMaxSeq);
+  const auto seq = static_cast<std::int32_t>(next_seq_[a]++);
+  const bool accepted =
+      net_->send_link(from, to, net_->topology().edge_of_arc(arc),
+                      encode_data(seq, payload));
+  if (!accepted && !backoff_.persist_when_blocked) return false;
+  if (backoff_.max_retries > 0) {
+    net_->simulator().schedule_in(
+        backoff_.delay(0, *rng_),
+        [this, from, to, arc, seq, payload] {
+          transmit(from, to, arc, seq, payload, 1);
+        });
+  }
+  return true;
+}
+
+void ReliableLink::transmit(NodeId from, NodeId to, std::int32_t arc,
+                            std::int32_t seq, std::int64_t payload,
+                            std::int32_t attempt) {
+  if (test_bit(acked_, arc, seq)) return;
+  const bool accepted =
+      net_->send_link(from, to, net_->topology().edge_of_arc(arc),
+                      encode_data(seq, payload));
+  if (accepted) {
+    ++retransmissions_;
+  } else if (!backoff_.persist_when_blocked) {
+    return;
+  }
+  if (attempt >= backoff_.max_retries) return;
+  net_->simulator().schedule_in(
+      backoff_.delay(attempt, *rng_),
+      [this, from, to, arc, seq, payload, attempt] {
+        transmit(from, to, arc, seq, payload, attempt + 1);
+      });
+}
+
+bool ReliableLink::send_raw_arc(NodeId from, NodeId to, std::int32_t arc,
+                                std::int64_t payload) {
+  LHG_DCHECK(payload >= 0 && (payload >> 61) == 0,
+             "reliable_link: raw payload {} does not fit in 62 bits", payload);
+  return net_->send_link(from, to, net_->topology().edge_of_arc(arc),
+                         encode_raw(payload));
+}
+
+void ReliableLink::on_receive(NodeId self, NodeId from, std::int64_t wire) {
+  if (type_of(wire) == kRaw) {
+    if (on_raw_) on_raw_(self, from, raw_payload_of(wire));
+    return;
+  }
+  // Both directions key their state off the arc self→from: for an ACK
+  // that is the arc the DATA went out on; for DATA it is the reverse of
+  // the travel arc — still a unique (sender, receiver) key, and the arc
+  // the ACK must be sent on, so one lookup serves both.
+  const std::int32_t arc = net_->topology().arc_index(self, from);
+  const std::int32_t seq = seq_of(wire);
+  if (type_of(wire) == kAck) {
+    set_bit(acked_, arc, seq);
+    return;
+  }
+  // Always (re-)ACK DATA — the previous ACK may have been lost.
+  if (net_->send_link(self, from, net_->topology().edge_of_arc(arc),
+                      encode_ack(seq))) {
+    ++acks_sent_;
+  }
+  if (test_bit(delivered_, arc, seq)) {
+    ++duplicates_suppressed_;
+    return;
+  }
+  set_bit(delivered_, arc, seq);
+  if (on_deliver_) on_deliver_(self, from, payload_of(wire));
+}
+
+}  // namespace lhg::flooding

@@ -1,0 +1,144 @@
+// Per-link reliable delivery: ACK / retransmit / exponential backoff.
+//
+// Network gives at-most-once, unordered, lossy link transmission.  This
+// layer upgrades any overlay arc to at-least-once delivery with
+// duplicate suppression, the way real dissemination stacks do:
+//
+//   * every DATA copy carries a per-arc sequence number and is ACKed by
+//     the receiver (ACKs can be lost too);
+//   * the sender retransmits an unACKed copy on a timeout that backs
+//     off exponentially (base * factor^attempt, capped, with optional
+//     multiplicative jitter) until `max_retries` is exhausted;
+//   * duplicate DATA is re-ACKed (the previous ACK may have dropped)
+//     but handed to the application exactly once.
+//
+// A third frame type, RAW, shares the handler but bypasses the
+// reliability machinery entirely (no seq, no ACK, no dedup) — it is how
+// periodic traffic like heartbeats rides the same Network without
+// burning sequence numbers; see `send_raw_arc`.
+//
+// Wire format inside the Network's int64 message: bits 0..1 are the
+// type (0 = DATA, 1 = ACK, 2 = RAW), bits 2..11 the sequence number
+// (DATA/ACK), and the remaining bits the caller's payload.  Sequence
+// numbers are per directed arc and capped at 1024 (LHG_CHECK) — sized
+// for the repair protocol's view-change fan-out, where one arc may
+// carry a distinct payload per suspected node plus a state-transfer
+// replay.  The per-arc ACK/delivery state is a fixed 16-word bitmap
+// (128 bytes per direction), allocated once in the constructor: the
+// steady state allocates nothing.
+//
+// Retry timers capture {this, endpoints, arc, seq, payload, attempt} —
+// 36 bytes, inside the Simulator's 48-byte inline callback capture, so
+// the retransmit path is allocation-free too.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/rng.h"
+#include "flooding/network.h"
+
+namespace lhg::flooding {
+
+/// Retry schedule: attempt i (0-based) is retried after
+/// min(base * factor^i, max) * (1 + jitter * u), u uniform in [0, 1).
+/// With jitter == 0 the schedule consumes no Rng draws (determinism
+/// contract).  `max == 0` means "no cap".
+struct BackoffPolicy {
+  double base = 3.0;     ///< delay before the first retransmission
+  double factor = 2.0;   ///< multiplier per further attempt
+  double max = 60.0;     ///< delay ceiling; 0 disables the cap
+  double jitter = 0.0;   ///< in [0, 1): spreads synchronized retries
+  std::int32_t max_retries = 5;  ///< retransmissions after the first send
+
+  /// Whether a send refused by the Network (sender crashed, link down,
+  /// partition) keeps its retry timer alive.  Off, a refused attempt
+  /// abandons the message (the classic fail-stop reading); on, retries
+  /// persist through down windows — what crash-recovery repair needs to
+  /// reach a neighbor that is rebooting.
+  bool persist_when_blocked = false;
+
+  /// The classic fixed-interval schedule (factor 1, no cap, no jitter).
+  static BackoffPolicy fixed(double interval, std::int32_t retries) {
+    return {interval, 1.0, 0.0, 0.0, retries, false};
+  }
+
+  /// Delay before retransmission number `attempt + 1`.  Draws from
+  /// `rng` only when jitter > 0.
+  double delay(std::int32_t attempt, core::Rng& rng) const;
+};
+
+/// Reliable transmission over a Network's overlay arcs.  Installs
+/// itself as the Network's receive handler; applications register a
+/// deliver handler here instead and see each (arc, seq) exactly once.
+class ReliableLink {
+ public:
+  /// (receiver, sender, payload) — payload is the caller's value, with
+  /// the seq/type bits already stripped.
+  using DeliverHandler =
+      std::function<void(core::NodeId, core::NodeId, std::int64_t)>;
+
+  /// `net` and `rng` must outlive the ReliableLink.  Takes over the
+  /// Network's receive handler.
+  ReliableLink(Network& net, const BackoffPolicy& backoff, core::Rng& rng);
+
+  ReliableLink(const ReliableLink&) = delete;
+  ReliableLink& operator=(const ReliableLink&) = delete;
+
+  void set_deliver_handler(DeliverHandler handler) {
+    on_deliver_ = std::move(handler);
+  }
+
+  /// Handler for RAW frames (heartbeats etc.) — fire-and-forget, no
+  /// dedup, delivered in arrival order.
+  void set_raw_handler(DeliverHandler handler) {
+    on_raw_ = std::move(handler);
+  }
+
+  /// Sends `payload` reliably from `from` to its overlay neighbor `to`.
+  /// Payload must be non-negative and fit in 52 bits.  Returns false if
+  /// the first transmission was refused by the Network *and* the policy
+  /// does not persist through blocked sends.
+  bool send(core::NodeId from, core::NodeId to, std::int64_t payload);
+
+  /// Fast path for callers already holding the CSR arc id of from→to.
+  bool send_arc(core::NodeId from, core::NodeId to, std::int32_t arc,
+                std::int64_t payload);
+
+  /// Unreliable single-shot frame on the same wire (no seq, no ACK, no
+  /// retry).  Returns whether the Network accepted the transmission.
+  bool send_raw_arc(core::NodeId from, core::NodeId to, std::int32_t arc,
+                    std::int64_t payload);
+
+  std::int64_t retransmissions() const { return retransmissions_; }
+  std::int64_t acks_sent() const { return acks_sent_; }
+  std::int64_t duplicates_suppressed() const { return duplicates_suppressed_; }
+
+ private:
+  void on_receive(core::NodeId self, core::NodeId from, std::int64_t wire);
+  void transmit(core::NodeId from, core::NodeId to, std::int32_t arc,
+                std::int32_t seq, std::int64_t payload, std::int32_t attempt);
+
+  Network* net_;
+  BackoffPolicy backoff_;
+  core::Rng* rng_;
+  DeliverHandler on_deliver_;
+  DeliverHandler on_raw_;
+
+  // Per directed arc: sequence counter (sender side), ACK bitmap
+  // (sender side, indexed by the DATA arc), delivered bitmap (receiver
+  // side, indexed by the *reverse* arc — the one the receiver uses to
+  // ACK, which it computes once per receive anyway).
+  std::vector<std::uint16_t> next_seq_;
+  std::vector<std::uint64_t> acked_;
+  std::vector<std::uint64_t> delivered_;
+
+  std::int64_t retransmissions_ = 0;
+  std::int64_t acks_sent_ = 0;
+  std::int64_t duplicates_suppressed_ = 0;
+};
+
+}  // namespace lhg::flooding

@@ -1,0 +1,409 @@
+#include "flooding/repair.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/connectivity.h"
+
+namespace lhg::flooding {
+
+using core::NodeId;
+
+namespace {
+
+// View-change payload on the reliable layer: bit 0 = kind (0 a node
+// went down, 1 a node came back), the rest the node id.
+constexpr std::int64_t vc_payload(NodeId node, bool up) {
+  return (static_cast<std::int64_t>(node) << 1) | (up ? 1 : 0);
+}
+constexpr bool vc_is_up(std::int64_t payload) { return (payload & 1) != 0; }
+constexpr NodeId vc_node(std::int64_t payload) {
+  return static_cast<NodeId>(payload >> 1);
+}
+
+/// One underlay REQ/ACK handshake for a target edge the overlay lacks.
+/// `u` is the requester (lower id).
+struct Handshake {
+  NodeId u = 0;
+  NodeId v = 0;
+  double established = -1.0;
+};
+
+/// The whole simulation's state; methods are the event handlers.
+/// Everything lives on the caller's stack until sim.run() drains.
+struct RepairSim {
+  const core::Graph& g;
+  const RepairConfig& cfg;
+  Simulator sim;
+  core::Rng rng;
+  Network net;
+  ReliableLink link;
+  RepairResult res;
+
+  std::size_t n;
+  std::vector<std::uint8_t> in_perm;  // permanently crashed per node
+  std::int32_t perm_count = 0;
+
+  // Suspicion state per directed arc (observer -> target), as in
+  // heartbeat.cc, plus the global first-suspicion metric per node.
+  std::vector<double> last_heard;
+  std::vector<std::uint8_t> suspected;
+  std::vector<double> first_suspect;
+
+  // Per-node disseminated view: down/up-seen bitsets (w * n + x),
+  // the count of permanent crashes currently in the view, and whether
+  // the node already kicked off its handshakes.
+  std::vector<std::uint8_t> down_view;
+  std::vector<std::uint8_t> up_seen;
+  std::vector<std::int32_t> match;
+  std::vector<std::uint8_t> initiated;
+
+  std::vector<Handshake> needed;
+  std::int32_t established_count = 0;
+
+  RepairSim(const core::Graph& graph, const RepairConfig& config)
+      : g(graph),
+        cfg(config),
+        rng(config.seed),
+        net(graph, sim, config.latency, rng, config.chaos),
+        link(net, config.view_backoff, rng),
+        n(static_cast<std::size_t>(graph.num_nodes())),
+        in_perm(n, 0),
+        last_heard(static_cast<std::size_t>(graph.num_arcs()), 0.0),
+        suspected(static_cast<std::size_t>(graph.num_arcs()), 0),
+        first_suspect(n, -1.0),
+        down_view(n * n, 0),
+        up_seen(n * n, 0),
+        match(n, 0),
+        initiated(n, 0) {}
+
+  bool underlay_drops() {
+    return cfg.underlay_loss > 0.0 && rng.next_bool(cfg.underlay_loss);
+  }
+
+  void beat(NodeId u) {
+    if (!net.is_alive(u)) return;
+    std::int32_t arc = g.arc_begin(u);
+    for (NodeId v : g.neighbors(u)) {
+      if (link.send_raw_arc(u, v, arc, 0)) ++res.heartbeats_sent;
+      ++arc;
+    }
+  }
+
+  // Suspicion check `timeout` after the beat that armed it; a newer
+  // beat re-arms a later check, so only the newest matters.
+  void arm_check(NodeId observer, NodeId target, std::int32_t arc,
+                 double armed_at) {
+    sim.schedule_at(
+        armed_at + cfg.heartbeat_timeout,
+        [this, observer, target, arc, armed_at] {
+          if (!net.is_alive(observer)) return;
+          // Beats stop at the horizon; silence past it is an artifact
+          // of the simulation ending, not a failure.
+          if (sim.now() > cfg.horizon) return;
+          const auto a = static_cast<std::size_t>(arc);
+          if (last_heard[a] > armed_at) return;  // newer beat re-armed
+          if (suspected[a] != 0) return;
+          suspected[a] = 1;
+          const auto t = static_cast<std::size_t>(target);
+          if (net.is_alive(target)) {
+            ++res.false_suspicions;
+          } else if (first_suspect[t] < 0.0) {
+            first_suspect[t] = sim.now();
+          }
+          learn_down(observer, target, /*relay_except=*/-1);
+        });
+  }
+
+  void on_raw(NodeId self, NodeId from) {
+    const std::int32_t arc = g.arc_index(self, from);
+    const auto a = static_cast<std::size_t>(arc);
+    last_heard[a] = sim.now();
+    suspected[a] = 0;  // rebut any standing suspicion
+    arm_check(self, from, arc, sim.now());
+  }
+
+  void relay(NodeId w, NodeId except, std::int64_t payload) {
+    std::int32_t arc = g.arc_begin(w);
+    for (NodeId v : g.neighbors(w)) {
+      if (v != except) {
+        link.send_arc(w, v, arc, payload);
+        ++res.view_change_messages;
+      }
+      ++arc;
+    }
+  }
+
+  void learn_down(NodeId w, NodeId x, NodeId relay_except) {
+    auto& flag = down_view[static_cast<std::size_t>(w) * n +
+                           static_cast<std::size_t>(x)];
+    if (flag != 0) return;
+    flag = 1;
+    if (in_perm[static_cast<std::size_t>(x)] != 0) {
+      ++match[static_cast<std::size_t>(w)];
+    }
+    relay(w, relay_except, vc_payload(x, /*up=*/false));
+    check_view(w);
+  }
+
+  void learn_up(NodeId w, NodeId r, NodeId relay_except) {
+    auto& seen =
+        up_seen[static_cast<std::size_t>(w) * n + static_cast<std::size_t>(r)];
+    if (seen != 0) return;
+    seen = 1;
+    auto& flag = down_view[static_cast<std::size_t>(w) * n +
+                           static_cast<std::size_t>(r)];
+    if (flag != 0) {
+      flag = 0;
+      if (in_perm[static_cast<std::size_t>(r)] != 0) {
+        --match[static_cast<std::size_t>(w)];
+      }
+    }
+    relay(w, relay_except, vc_payload(r, /*up=*/true));
+  }
+
+  void on_deliver(NodeId self, NodeId from, std::int64_t payload) {
+    const NodeId x = vc_node(payload);
+    if (!vc_is_up(payload)) {
+      learn_down(self, x, from);
+      return;
+    }
+    // A rejoin heard directly from the rejoiner triggers a state
+    // transfer: the neighbor replays its current down-view so the
+    // recovered node (which lost all protocol state) catches up.
+    const bool direct =
+        from == x && up_seen[static_cast<std::size_t>(self) * n +
+                             static_cast<std::size_t>(x)] == 0;
+    learn_up(self, x, from);
+    if (direct) {
+      const std::int32_t arc = g.arc_index(self, from);
+      for (std::size_t y = 0; y < n; ++y) {
+        if (down_view[static_cast<std::size_t>(self) * n + y] != 0) {
+          link.send_arc(self, from, arc,
+                        vc_payload(static_cast<NodeId>(y), /*up=*/false));
+          ++res.view_change_messages;
+        }
+      }
+    }
+  }
+
+  void announce_rejoin(NodeId r) {
+    if (!net.is_alive(r)) return;
+    up_seen[static_cast<std::size_t>(r) * n + static_cast<std::size_t>(r)] = 1;
+    relay(r, /*except=*/-1, vc_payload(r, /*up=*/true));
+  }
+
+  void check_view(NodeId w) {
+    const auto i = static_cast<std::size_t>(w);
+    if (initiated[i] != 0 || match[i] != perm_count) return;
+    if (!net.is_alive(w)) return;
+    initiated[i] = 1;
+    for (std::size_t hid = 0; hid < needed.size(); ++hid) {
+      if (needed[hid].u == w) {
+        start_handshake(static_cast<std::int32_t>(hid), 0);
+      }
+    }
+  }
+
+  void start_handshake(std::int32_t hid, std::int32_t attempt) {
+    Handshake& h = needed[static_cast<std::size_t>(hid)];
+    if (h.established >= 0.0) return;
+    if (net.is_alive(h.u)) {
+      ++res.handshake_messages;  // the REQ
+      if (!underlay_drops()) {
+        sim.schedule_in(cfg.underlay_latency,
+                        [this, hid] { req_arrive(hid); });
+      }
+    }
+    if (attempt < cfg.handshake_backoff.max_retries) {
+      sim.schedule_in(cfg.handshake_backoff.delay(attempt, rng),
+                      [this, hid, attempt] {
+                        start_handshake(hid, attempt + 1);
+                      });
+    }
+  }
+
+  void req_arrive(std::int32_t hid) {
+    Handshake& h = needed[static_cast<std::size_t>(hid)];
+    if (!net.is_alive(h.v)) return;  // peer (still) down; retries cover it
+    ++res.handshake_messages;        // the ACK (re-sent on duplicate REQs)
+    if (!underlay_drops()) {
+      sim.schedule_in(cfg.underlay_latency, [this, hid] { ack_arrive(hid); });
+    }
+  }
+
+  void ack_arrive(std::int32_t hid) {
+    Handshake& h = needed[static_cast<std::size_t>(hid)];
+    if (!net.is_alive(h.u)) return;
+    if (h.established >= 0.0) return;
+    h.established = sim.now();
+    ++established_count;
+    res.reconnect_time = std::max(res.reconnect_time, h.established);
+  }
+};
+
+}  // namespace
+
+RepairResult run_repair(const core::Graph& topology, const RepairConfig& cfg,
+                        const FailurePlan& plan) {
+  LHG_CHECK(cfg.k >= 1, "repair: k {} < 1", cfg.k);
+  LHG_CHECK(cfg.heartbeat_interval > 0 &&
+                cfg.heartbeat_timeout > cfg.heartbeat_interval &&
+                cfg.horizon > 0,
+            "repair: need 0 < interval < timeout and horizon > 0, got "
+            "interval={}, timeout={}, horizon={}",
+            cfg.heartbeat_interval, cfg.heartbeat_timeout, cfg.horizon);
+  LHG_CHECK(cfg.underlay_latency > 0, "repair: underlay latency {} <= 0",
+            cfg.underlay_latency);
+  LHG_CHECK(cfg.underlay_loss >= 0.0 && cfg.underlay_loss < 1.0,
+            "repair: underlay loss {} out of [0, 1)", cfg.underlay_loss);
+  LHG_CHECK(cfg.handshake_backoff.base > 0.0 &&
+                cfg.handshake_backoff.factor >= 1.0 &&
+                cfg.handshake_backoff.max_retries >= 0,
+            "repair: bad handshake backoff (base={}, factor={}, retries={})",
+            cfg.handshake_backoff.base, cfg.handshake_backoff.factor,
+            cfg.handshake_backoff.max_retries);
+
+  const NodeId num = topology.num_nodes();
+  const auto n = static_cast<std::size_t>(num);
+
+  // Final membership from the plan: a node is permanently down iff its
+  // last crash is not followed by a recovery.
+  std::vector<double> last_crash(n, -1.0);
+  std::vector<double> last_recover(n, -1.0);
+  for (const NodeCrash& c : plan.crashes) {
+    auto& t = last_crash[static_cast<std::size_t>(c.node)];
+    t = std::max(t, c.time);
+  }
+  for (const NodeRecovery& r : plan.recoveries) {
+    auto& t = last_recover[static_cast<std::size_t>(r.node)];
+    t = std::max(t, r.time);
+  }
+
+  RepairSim s(topology, cfg);
+  std::vector<NodeId> survivors;
+  for (NodeId u = 0; u < num; ++u) {
+    const auto i = static_cast<std::size_t>(u);
+    if (last_crash[i] >= 0.0 && last_recover[i] <= last_crash[i]) {
+      s.in_perm[i] = 1;
+      ++s.perm_count;
+    } else {
+      survivors.push_back(u);
+    }
+  }
+  const auto n_surv = static_cast<NodeId>(survivors.size());
+  LHG_CHECK(lhg::exists(n_surv, cfg.k, cfg.constraint),
+            "repair: no LHG with n={}, k={} to heal toward", n_surv, cfg.k);
+
+  // Dense survivor ids: survivors[] is ascending, so target edges map
+  // back with endpoint order preserved.
+  std::vector<NodeId> dense(n, -1);
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    dense[static_cast<std::size_t>(survivors[i])] = static_cast<NodeId>(i);
+  }
+
+  // Links cut by the plan with no restoring flap are gone for good and
+  // cannot be "reused" toward the target.
+  std::vector<std::uint8_t> link_dead(
+      static_cast<std::size_t>(topology.num_edges()), 0);
+  for (const LinkFailure& f : plan.link_failures) {
+    const std::int32_t e = topology.edge_index(f.link.u, f.link.v);
+    if (e >= 0) link_dead[static_cast<std::size_t>(e)] = 1;
+  }
+
+  const core::Graph target = lhg::build(n_surv, cfg.k, cfg.constraint);
+  for (const core::Edge& e : target.edges()) {
+    const NodeId u = survivors[static_cast<std::size_t>(e.u)];
+    const NodeId v = survivors[static_cast<std::size_t>(e.v)];
+    const std::int32_t idx = topology.edge_index(u, v);
+    if (idx >= 0 && link_dead[static_cast<std::size_t>(idx)] == 0) {
+      ++s.res.edges_reused;
+    } else {
+      s.needed.push_back({u, v, -1.0});
+    }
+  }
+  s.res.survivors = n_surv;
+  s.res.edges_needed = static_cast<std::int32_t>(s.needed.size());
+
+  apply_failure_plan(s.net, plan);
+  s.link.set_raw_handler(
+      [&s](NodeId self, NodeId from, std::int64_t) { s.on_raw(self, from); });
+  s.link.set_deliver_handler(
+      [&s](NodeId self, NodeId from, std::int64_t payload) {
+        s.on_deliver(self, from, payload);
+      });
+
+  // Periodic beats from every node until it crashes or the horizon;
+  // everyone starts "heard at 0".
+  for (NodeId u = 0; u < num; ++u) {
+    for (double t = cfg.heartbeat_interval; t <= cfg.horizon;
+         t += cfg.heartbeat_interval) {
+      s.sim.schedule_at(t, [&s, u] { s.beat(u); });
+    }
+    std::int32_t arc = topology.arc_begin(u);
+    for (NodeId v : topology.neighbors(u)) {
+      s.arm_check(u, v, arc, 0.0);
+      ++arc;
+    }
+  }
+
+  // Recovered nodes announce themselves the moment they are back (the
+  // plan's recover event at the same timestamp runs first).
+  for (const NodeRecovery& r : plan.recoveries) {
+    s.sim.schedule_at(std::max(r.time, 0.0),
+                      [&s, node = r.node] { s.announce_rejoin(node); });
+  }
+
+  // With no permanent crash to wait for, views are trivially complete:
+  // kick off any needed rewiring (topology != target) immediately.
+  if (s.perm_count == 0) {
+    s.sim.schedule_at(0.0, [&s, num] {
+      for (NodeId w = 0; w < num; ++w) s.check_view(w);
+    });
+  }
+
+  s.sim.run();
+
+  RepairResult res = std::move(s.res);
+  res.view_change_messages += s.link.retransmissions() + s.link.acks_sent();
+  res.net = s.net.stats();
+  res.edges_established = s.established_count;
+  res.repaired = s.established_count == res.edges_needed;
+  if (!res.repaired) res.reconnect_time = -1.0;
+
+  res.detection_time = 0.0;
+  for (NodeId u = 0; u < num; ++u) {
+    const auto i = static_cast<std::size_t>(u);
+    if (s.in_perm[i] == 0) continue;
+    if (s.first_suspect[i] < 0.0) {
+      res.detection_time = -1.0;
+      break;
+    }
+    res.detection_time = std::max(res.detection_time, s.first_suspect[i]);
+  }
+
+  // The healed overlay: surviving original edges (dead links excluded)
+  // plus everything the handshakes established, on dense survivor ids.
+  core::GraphBuilder healed(n_surv);
+  std::int32_t idx = 0;
+  for (const core::Edge& e : topology.edges()) {
+    const NodeId du = dense[static_cast<std::size_t>(e.u)];
+    const NodeId dv = dense[static_cast<std::size_t>(e.v)];
+    if (du >= 0 && dv >= 0 && link_dead[static_cast<std::size_t>(idx)] == 0) {
+      healed.add_edge(du, dv);
+    }
+    ++idx;
+  }
+  for (const Handshake& h : s.needed) {
+    if (h.established >= 0.0) {
+      healed.add_edge(dense[static_cast<std::size_t>(h.u)],
+                      dense[static_cast<std::size_t>(h.v)]);
+    }
+  }
+  res.healed = healed.build();
+  res.survivor_ids = std::move(survivors);
+  res.k_connected = core::is_k_vertex_connected(res.healed, cfg.k);
+  return res;
+}
+
+}  // namespace lhg::flooding

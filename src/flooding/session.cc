@@ -22,20 +22,7 @@ SessionResult run_broadcast_session(const core::Graph& topology,
   Simulator sim;
   core::Rng rng(cfg.seed);
   Network net(topology, sim, cfg.latency, rng, cfg.loss_probability);
-  for (const NodeCrash& crash : failures.crashes) {
-    if (crash.time <= 0.0) {
-      net.crash_now(crash.node);
-    } else {
-      net.crash_at(crash.node, crash.time);
-    }
-  }
-  for (const LinkFailure& failure : failures.link_failures) {
-    if (failure.time <= 0.0) {
-      net.fail_link_now(failure.link.u, failure.link.v);
-    } else {
-      net.fail_link_at(failure.link.u, failure.link.v, failure.time);
-    }
-  }
+  apply_failure_plan(net, failures);
 
   // Per-message delivery state.  The wire payload is the message index.
   const auto n = static_cast<std::size_t>(topology.num_nodes());

@@ -91,13 +91,13 @@ TEST_P(FaultToleranceSweep, RandomAndAdversarialCrashesUpToKMinus1) {
   core::Rng rng(static_cast<std::uint64_t>(k * 1000 + n_offset));
   const NodeId source = 0;
   for (int trial = 0; trial < 25; ++trial) {
-    const auto random_plan = random_crashes(g, k - 1, source, rng);
+    const auto random_plan = random_crashes(g, k - 1, source, rng, /*time=*/0.0);
     std::vector<NodeId> crashed;
     for (const auto& c : random_plan.crashes) crashed.push_back(c.node);
     EXPECT_TRUE(flood_survives(g, source, crashed));
   }
   // The strongest adversary: aim k−1 crashes at a minimum vertex cut.
-  const auto cut_plan = cut_targeted_crashes(g, k - 1, source, rng);
+  const auto cut_plan = cut_targeted_crashes(g, k - 1, source, rng, /*time=*/0.0);
   std::vector<NodeId> crashed;
   for (const auto& c : cut_plan.crashes) crashed.push_back(c.node);
   EXPECT_TRUE(flood_survives(g, source, crashed));
@@ -129,7 +129,7 @@ TEST(FaultTolerance, HararyBaselineAlsoSurvivesButSlower) {
   const auto g = harary::circulant(60, 4);
   core::Rng rng(4);
   for (int trial = 0; trial < 25; ++trial) {
-    const auto plan = random_crashes(g, 3, 0, rng);
+    const auto plan = random_crashes(g, 3, 0, rng, /*time=*/0.0);
     FailurePlan fp = plan;
     const auto result = flood(g, {.source = 0}, fp);
     EXPECT_TRUE(result.all_alive_delivered());

@@ -50,7 +50,7 @@ TEST(Integration, FullPipeline) {
 
   // 5. Flood under a cut-targeted adversary with k-1 crashes.
   core::Rng rng(11);
-  const auto plan_failures = flooding::cut_targeted_crashes(g, k - 1, 0, rng);
+  const auto plan_failures = flooding::cut_targeted_crashes(g, k - 1, 0, rng, /*time=*/0.0);
   const auto flood_result = flooding::flood(g, {.source = 0}, plan_failures);
   EXPECT_TRUE(flood_result.all_alive_delivered());
 
@@ -81,7 +81,7 @@ TEST(Integration, DeterministicEndToEnd) {
   auto run_once = [] {
     const auto g = build(46, 3);
     core::Rng rng(5);
-    const auto failures = flooding::random_crashes(g, 2, 0, rng);
+    const auto failures = flooding::random_crashes(g, 2, 0, rng, /*time=*/0.0);
     const auto result = flooding::flood(g, {.source = 0, .seed = 9}, failures);
     return std::make_tuple(result.messages_sent, result.completion_time,
                            result.delivered_alive);

@@ -157,5 +157,239 @@ TEST(Network, DoubleCrashIsIdempotent) {
   EXPECT_EQ(net.alive_count(), 2);
 }
 
+// --- Crash-recovery -------------------------------------------------
+
+TEST(Network, RecoveryRestoresDeliveryAndSending) {
+  Simulator sim;
+  core::Rng rng(1);
+  Graph g = path3();
+  Network net(g, sim, LatencySpec::fixed(1.0), rng);
+  std::vector<Delivery> log;
+  net.set_receive_handler([&](NodeId to, NodeId from, std::int64_t msg) {
+    log.push_back({to, from, msg, sim.now()});
+  });
+  net.crash_now(1);
+  net.send(0, 1, 7);       // arrives t=1, receiver down: dropped
+  net.recover_at(1, 2.0);  // back up with no state
+  sim.schedule_at(3.0, [&] {
+    EXPECT_TRUE(net.send(0, 1, 8));  // arrives t=4, receiver alive
+    EXPECT_TRUE(net.send(1, 0, 9));  // recovered node can send again
+  });
+  sim.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].message, 8);
+  EXPECT_DOUBLE_EQ(log[0].time, 4.0);
+  EXPECT_EQ(log[1].message, 9);
+  EXPECT_EQ(net.alive_count(), 3);
+  EXPECT_EQ(net.stats().dropped_receiver_crashed, 1);
+  EXPECT_EQ(net.stats().delivered, 2);
+}
+
+TEST(Network, RecoverOnAliveNodeIsIdempotent) {
+  Simulator sim;
+  core::Rng rng(1);
+  Graph g = path3();
+  Network net(g, sim, LatencySpec::fixed(1.0), rng);
+  net.recover_now(1);
+  EXPECT_EQ(net.alive_count(), 3);
+  net.crash_now(1);
+  net.recover_now(1);
+  net.recover_now(1);
+  EXPECT_EQ(net.alive_count(), 3);
+  EXPECT_TRUE(net.is_alive(1));
+}
+
+TEST(Network, LinkFlapBlocksOnlyDuringWindow) {
+  Simulator sim;
+  core::Rng rng(1);
+  Graph g = path3();
+  Network net(g, sim, LatencySpec::fixed(1.0), rng);
+  int received = 0;
+  net.set_receive_handler([&](NodeId, NodeId, std::int64_t) { ++received; });
+  net.fail_link_at(0, 1, 2.0);
+  net.restore_link_at(0, 1, 5.0);
+  net.send(0, 1, 1);  // t=0, arrives t=1 before the cut: delivered
+  sim.schedule_at(3.0, [&] {
+    EXPECT_FALSE(net.send(0, 1, 2));  // inside the down window: refused
+  });
+  sim.schedule_at(6.0, [&] {
+    EXPECT_TRUE(net.send(0, 1, 3));  // restored: accepted and delivered
+  });
+  sim.run();
+  EXPECT_EQ(received, 2);
+  EXPECT_TRUE(net.link_ok(0, 1));
+  EXPECT_EQ(net.stats().blocked_link_down, 1);
+}
+
+// --- Partitions -----------------------------------------------------
+
+TEST(Network, PartitionBlocksCrossSideTraffic) {
+  Simulator sim;
+  core::Rng rng(1);
+  Graph g = path3();
+  Network net(g, sim, LatencySpec::fixed(1.0), rng);
+  int received = 0;
+  net.set_receive_handler([&](NodeId, NodeId, std::int64_t) { ++received; });
+  net.set_partition({0, 0, 1});  // cut between nodes 1 and 2
+  EXPECT_TRUE(net.partition_active());
+  EXPECT_TRUE(net.send(0, 1, 1));   // same side: flows
+  EXPECT_FALSE(net.send(1, 2, 2));  // cross side: refused at send
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(net.stats().blocked_partition, 1);
+  net.clear_partition();
+  EXPECT_FALSE(net.partition_active());
+  EXPECT_TRUE(net.send(1, 2, 3));
+  sim.run();
+  EXPECT_EQ(received, 2);
+}
+
+TEST(Network, PartitionDropsInFlightCrossTraffic) {
+  Simulator sim;
+  core::Rng rng(1);
+  Graph g = path3();
+  Network net(g, sim, LatencySpec::fixed(5.0), rng);
+  int received = 0;
+  net.set_receive_handler([&](NodeId, NodeId, std::int64_t) { ++received; });
+  net.send(1, 2, 7);                        // arrives t=5...
+  net.partition_during({0, 0, 1}, 2.0, 9.0);  // ...inside the window
+  sim.schedule_at(10.0, [&] {
+    EXPECT_TRUE(net.send(1, 2, 8));  // window over: flows again
+  });
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(net.stats().dropped_partition, 1);
+  EXPECT_FALSE(net.partition_active());
+}
+
+TEST(Network, PartitionValidation) {
+  Simulator sim;
+  core::Rng rng(1);
+  Graph g = path3();
+  Network net(g, sim, LatencySpec::fixed(1.0), rng);
+  EXPECT_THROW(net.set_partition({0, 1}), std::invalid_argument);  // size
+  EXPECT_THROW(net.set_partition({0, 1, 2}), std::invalid_argument);  // side
+}
+
+// --- Chaos channel --------------------------------------------------
+
+TEST(Network, ChaosAccountingInvariantUnderLossAndDuplication) {
+  Simulator sim;
+  core::Rng rng(123);
+  Graph g = path3();
+  ChaosSpec chaos;
+  chaos.loss = 0.3;
+  chaos.duplicate = 0.4;
+  Network net(g, sim, LatencySpec::fixed(1.0), rng, chaos);
+  std::int64_t received = 0;
+  net.set_receive_handler([&](NodeId, NodeId, std::int64_t) { ++received; });
+  for (int i = 0; i < 200; ++i) net.send(0, 1, i);
+  sim.run();
+  const NetworkStats& st = net.stats();
+  EXPECT_EQ(st.sent, 200);
+  EXPECT_GT(st.lost, 0);
+  EXPECT_GT(st.duplicated, 0);
+  // Every accepted transmission ends in exactly one bucket per copy.
+  EXPECT_EQ(st.delivered + st.undelivered(), st.sent + st.duplicated);
+  EXPECT_EQ(st.delivered, received);
+}
+
+TEST(Network, GilbertElliottLosesInBursts) {
+  Simulator sim;
+  core::Rng rng(9);
+  Graph g = path3();
+  // Bad state is near-total loss and sticky: drops should clump.
+  ChaosSpec chaos = ChaosSpec::bursty(0.2, 0.2, 0.95);
+  Network net(g, sim, LatencySpec::fixed(1.0), rng, chaos);
+  int received = 0;
+  net.set_receive_handler([&](NodeId, NodeId, std::int64_t) { ++received; });
+  for (int i = 0; i < 400; ++i) net.send(0, 1, i);
+  sim.run();
+  EXPECT_GT(net.messages_lost(), 0);
+  EXPECT_GT(received, 0);
+  EXPECT_EQ(net.messages_lost() + received, 400);
+}
+
+TEST(Network, ReorderJitterDelaysSomeCopies) {
+  Simulator sim;
+  core::Rng rng(5);
+  Graph g = path3();
+  ChaosSpec chaos;
+  chaos.reorder = 0.5;
+  chaos.reorder_jitter = 10.0;
+  Network net(g, sim, LatencySpec::fixed(1.0), rng, chaos);
+  std::vector<double> times;
+  net.set_receive_handler(
+      [&](NodeId, NodeId, std::int64_t) { times.push_back(sim.now()); });
+  for (int i = 0; i < 50; ++i) net.send(0, 1, i);
+  sim.run();
+  ASSERT_EQ(times.size(), 50u);
+  bool delayed = false;
+  for (double t : times) {
+    EXPECT_GE(t, 1.0);
+    EXPECT_LE(t, 11.0);
+    if (t > 1.0) delayed = true;
+  }
+  EXPECT_TRUE(delayed);
+}
+
+TEST(Network, DisabledChaosConsumesNoRngDraws) {
+  // The golden-trace contract: with every chaos knob off, the send path
+  // must not touch the Rng, so two networks sharing a seed stay in
+  // lockstep whether or not a ChaosSpec was passed.
+  Graph g = path3();
+  Simulator sim_a;
+  core::Rng rng_a(77);
+  Network a(g, sim_a, LatencySpec::per_send(1.0, 2.0), rng_a);
+  Simulator sim_b;
+  core::Rng rng_b(77);
+  Network b(g, sim_b, LatencySpec::per_send(1.0, 2.0), rng_b,
+            ChaosSpec::none());
+  std::vector<double> ta, tb;
+  a.set_receive_handler(
+      [&](NodeId, NodeId, std::int64_t) { ta.push_back(sim_a.now()); });
+  b.set_receive_handler(
+      [&](NodeId, NodeId, std::int64_t) { tb.push_back(sim_b.now()); });
+  for (int i = 0; i < 20; ++i) {
+    a.send(0, 1, i);
+    b.send(0, 1, i);
+  }
+  sim_a.run();
+  sim_b.run();
+  EXPECT_EQ(ta, tb);
+}
+
+TEST(Network, ChaosValidation) {
+  Simulator sim;
+  core::Rng rng(1);
+  Graph g = path3();
+  ChaosSpec bad_dup;
+  bad_dup.duplicate = 1.0;
+  EXPECT_THROW(Network(g, sim, LatencySpec::fixed(1.0), rng, bad_dup),
+               std::invalid_argument);
+  ChaosSpec bad_ge = ChaosSpec::bursty(-0.1, 0.5, 0.5);
+  EXPECT_THROW(Network(g, sim, LatencySpec::fixed(1.0), rng, bad_ge),
+               std::invalid_argument);
+  ChaosSpec bad_reorder;
+  bad_reorder.reorder = 0.5;
+  bad_reorder.reorder_jitter = -1.0;
+  EXPECT_THROW(Network(g, sim, LatencySpec::fixed(1.0), rng, bad_reorder),
+               std::invalid_argument);
+}
+
+TEST(Network, StatsCountBlockedSends) {
+  Simulator sim;
+  core::Rng rng(1);
+  Graph g = path3();
+  Network net(g, sim, LatencySpec::fixed(1.0), rng);
+  net.crash_now(0);
+  net.fail_link_now(1, 2);
+  EXPECT_FALSE(net.send(0, 1, 1));
+  EXPECT_FALSE(net.send(1, 2, 2));
+  EXPECT_EQ(net.stats().blocked_sender_crashed, 1);
+  EXPECT_EQ(net.stats().blocked_link_down, 1);
+  EXPECT_EQ(net.stats().sent, 0);
+}
+
 }  // namespace
 }  // namespace lhg::flooding

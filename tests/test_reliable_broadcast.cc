@@ -73,7 +73,7 @@ TEST(ReliableBroadcast, SurvivesLossPlusCrashes) {
   const auto g = lhg::build(46, 3);
   core::Rng rng(3);
   for (int trial = 0; trial < 5; ++trial) {
-    const auto plan = random_crashes(g, 2, 0, rng);
+    const auto plan = random_crashes(g, 2, 0, rng, /*time=*/0.0);
     const auto result = reliable_broadcast(
         g, {.source = 0, .seed = static_cast<std::uint64_t>(trial) + 1,
             .loss_probability = 0.25, .max_retries = 8},

@@ -1,0 +1,272 @@
+// Tests for the self-healing overlay: detection, view dissemination,
+// and rewiring back to a k-connected LHG.
+
+#include "flooding/repair.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/connectivity.h"
+#include "core/parallel.h"
+#include "flooding/protocols.h"
+#include "flooding/reliable_broadcast.h"
+#include "flooding/trial_runner.h"
+#include "lhg/lhg.h"
+
+namespace lhg::flooding {
+namespace {
+
+using core::NodeId;
+
+TEST(Repair, EmptyPlanIsAlreadyHealed) {
+  const auto g = lhg::build(16, 3);
+  RepairConfig cfg;
+  cfg.k = 3;
+  const auto res = run_repair(g, cfg, {});
+  EXPECT_TRUE(res.repaired);
+  EXPECT_TRUE(res.k_connected);
+  EXPECT_EQ(res.survivors, 16);
+  EXPECT_EQ(res.edges_needed, 0);
+  EXPECT_EQ(res.edges_established, 0);
+  EXPECT_EQ(res.edges_reused, static_cast<std::int32_t>(g.num_edges()));
+  EXPECT_DOUBLE_EQ(res.detection_time, 0.0);
+  EXPECT_DOUBLE_EQ(res.reconnect_time, 0.0);
+  EXPECT_GT(res.heartbeats_sent, 0);
+  EXPECT_EQ(res.healed.num_edges(), g.num_edges());
+}
+
+TEST(Repair, ValidatesConfig) {
+  const auto g = lhg::build(16, 3);
+  RepairConfig cfg;
+  cfg.heartbeat_timeout = 0.5;  // below the interval
+  EXPECT_THROW(run_repair(g, cfg, {}), std::invalid_argument);
+  cfg = RepairConfig{};
+  cfg.underlay_loss = 1.0;
+  EXPECT_THROW(run_repair(g, cfg, {}), std::invalid_argument);
+  cfg = RepairConfig{};
+  cfg.k = 0;
+  EXPECT_THROW(run_repair(g, cfg, {}), std::invalid_argument);
+}
+
+// The property the subsystem exists for: after f = k-1 crashes — the
+// worst the paper's guarantee covers — repair restores a verifier-checked
+// k-connected overlay over the survivors, and flooding from any survivor
+// reaches all survivors again.
+TEST(Repair, RestoresKConnectivityAfterWorstCaseCrashes) {
+  struct Case {
+    NodeId n;
+    std::int32_t k;
+    std::uint64_t seed;
+  };
+  for (const Case c : {Case{24, 3, 7}, Case{40, 4, 11}}) {
+    SCOPED_TRACE(testing::Message() << "n=" << c.n << " k=" << c.k);
+    const auto g = lhg::build(c.n, c.k);
+    core::Rng rng(c.seed);
+    const auto plan =
+        random_crashes(g, c.k - 1, /*protect=*/0, rng, /*time=*/2.0);
+
+    RepairConfig cfg;
+    cfg.k = c.k;
+    cfg.seed = c.seed;
+    const auto res = run_repair(g, cfg, plan);
+
+    EXPECT_TRUE(res.repaired);
+    EXPECT_TRUE(res.k_connected);
+    EXPECT_EQ(res.survivors, c.n - (c.k - 1));
+    ASSERT_EQ(res.survivor_ids.size(), static_cast<std::size_t>(res.survivors));
+    EXPECT_GT(res.detection_time, 2.0);
+    if (res.edges_needed > 0) {
+      EXPECT_EQ(res.edges_established, res.edges_needed);
+      EXPECT_GT(res.reconnect_time, res.detection_time);
+      EXPECT_GT(res.handshake_messages, 0);
+    }
+    EXPECT_GT(res.view_change_messages, 0);
+    EXPECT_TRUE(core::is_k_vertex_connected(res.healed, c.k));
+
+    // Flooding over the healed overlay reaches every survivor, from
+    // any source.
+    for (const NodeId source :
+         {NodeId{0}, static_cast<NodeId>(res.healed.num_nodes() / 2),
+          static_cast<NodeId>(res.healed.num_nodes() - 1)}) {
+      const auto f = flood(res.healed, {.source = source});
+      EXPECT_TRUE(f.all_alive_delivered()) << "source " << source;
+      EXPECT_EQ(f.alive_nodes, res.survivors);
+    }
+  }
+}
+
+// A crashed node that recovers is not rewired around: it rejoins the
+// membership, and only the permanent crash triggers repair.
+TEST(Repair, RecoveredNodeRejoinsInsteadOfBeingReplaced) {
+  const auto g = lhg::build(20, 3);
+  FailurePlan plan;
+  plan.crashes.push_back({.node = 5, .time = 2.0});   // permanent
+  plan.crashes.push_back({.node = 11, .time = 2.0});  // transient
+  plan.recoveries.push_back({.node = 11, .time = 14.0});
+
+  RepairConfig cfg;
+  cfg.k = 3;
+  cfg.horizon = 80.0;
+  const auto res = run_repair(g, cfg, plan);
+
+  EXPECT_EQ(res.survivors, 19);
+  EXPECT_TRUE(std::find(res.survivor_ids.begin(), res.survivor_ids.end(), 11) !=
+              res.survivor_ids.end());
+  EXPECT_TRUE(std::find(res.survivor_ids.begin(), res.survivor_ids.end(), 5) ==
+              res.survivor_ids.end());
+  EXPECT_TRUE(res.repaired);
+  EXPECT_TRUE(res.k_connected);
+  // The transient crash must not leave a hole: node 11's dense id is in
+  // the healed graph with full target degree.
+  const auto dense_11 = static_cast<NodeId>(
+      std::find(res.survivor_ids.begin(), res.survivor_ids.end(), 11) -
+      res.survivor_ids.begin());
+  EXPECT_GE(res.healed.degree(dense_11), 3);
+}
+
+TEST(Repair, SurvivesLossyChannelsDuringRepair) {
+  const auto g = lhg::build(24, 3);
+  core::Rng rng(13);
+  const auto plan = random_crashes(g, 2, /*protect=*/0, rng, /*time=*/2.0);
+  RepairConfig cfg;
+  cfg.k = 3;
+  cfg.chaos = ChaosSpec::iid(0.15);
+  cfg.underlay_loss = 0.15;
+  cfg.horizon = 120.0;
+  const auto res = run_repair(g, cfg, plan);
+  EXPECT_TRUE(res.repaired);
+  EXPECT_TRUE(res.k_connected);
+  EXPECT_GT(res.net.lost, 0);  // the channel really was lossy
+}
+
+TEST(Repair, UndetectableWithoutHeartbeatsIsReportedHonestly) {
+  // Crash after the horizon: beats have stopped, nothing can be
+  // detected, and the result must say so instead of claiming success.
+  const auto g = lhg::build(16, 3);
+  FailurePlan plan;
+  plan.crashes.push_back({.node = 3, .time = 100.0});
+  RepairConfig cfg;
+  cfg.k = 3;
+  cfg.horizon = 20.0;
+  const auto res = run_repair(g, cfg, plan);
+  EXPECT_FALSE(res.repaired);
+  EXPECT_DOUBLE_EQ(res.detection_time, -1.0);
+  EXPECT_DOUBLE_EQ(res.reconnect_time, -1.0);
+}
+
+// --- Satellite: a node recovering mid-broadcast still gets the message.
+
+TEST(Repair, RecoveringNodeReceivesSubsequentMessages) {
+  const auto g = lhg::build(24, 3);
+  FailurePlan plan;
+  plan.crashes.push_back({.node = 23, .time = 0.5});
+  plan.recoveries.push_back({.node = 23, .time = 8.0});
+
+  // Plain flood sends each copy once: node 23 is down when they arrive,
+  // and nothing is ever retried.
+  const auto raw = flood(g, {.source = 0}, plan);
+  EXPECT_LT(raw.delivery_time[23], 0.0);
+  EXPECT_FALSE(raw.all_alive_delivered());
+
+  // The ack/retry layer keeps retransmitting: the copy sent after the
+  // recovery lands.
+  ReliableBroadcastConfig cfg;
+  cfg.source = 0;
+  cfg.retransmit_interval = 3.0;
+  cfg.max_retries = 5;
+  const auto rel = reliable_broadcast(g, cfg, plan);
+  EXPECT_GE(rel.delivery_time[23], 8.0);
+  EXPECT_TRUE(rel.all_alive_delivered());
+  EXPECT_GT(rel.retransmissions, 0);
+}
+
+// --- TrialRunner determinism with chaos enabled ---------------------
+
+struct ChaosAgg {
+  std::int64_t sent = 0;
+  std::int64_t lost = 0;
+  std::int64_t duplicated = 0;
+  std::int64_t delivered_alive = 0;
+  double total_time = 0.0;
+};
+
+ChaosAgg run_chaos_sweep(int threads) {
+  core::set_global_thread_count(threads);
+  const auto g = lhg::build(48, 3);
+  ChaosSpec chaos = ChaosSpec::bursty(0.1, 0.3, 0.6);
+  chaos.duplicate = 0.05;
+  chaos.reorder = 0.2;
+  chaos.reorder_jitter = 0.5;
+  const TrialRunner runner{.seed = 4242};
+  return runner.run(
+      24, ChaosAgg{},
+      [&](std::int64_t t, core::Rng& rng) {
+        const auto r = flood(
+            g, {.source = static_cast<NodeId>(t % g.num_nodes()),
+                .latency = LatencySpec::per_send(0.5, 1.0),
+                .seed = rng(),
+                .chaos = chaos});
+        return ChaosAgg{r.net.sent, r.net.lost, r.net.duplicated,
+                        r.delivered_alive, r.completion_time};
+      },
+      [](ChaosAgg a, const ChaosAgg& b) {
+        a.sent += b.sent;
+        a.lost += b.lost;
+        a.duplicated += b.duplicated;
+        a.delivered_alive += b.delivered_alive;
+        a.total_time += b.total_time;  // trial order: bitwise reproducible
+        return a;
+      });
+}
+
+TEST(ChaosParallelDeterminism, AggregatesIdenticalAtOneAndManyThreads) {
+  const ChaosAgg serial = run_chaos_sweep(1);
+  EXPECT_GT(serial.sent, 0);
+  EXPECT_GT(serial.lost, 0);
+  EXPECT_GT(serial.duplicated, 0);
+  for (const int threads : {2, 4, 8}) {
+    const ChaosAgg parallel = run_chaos_sweep(threads);
+    EXPECT_EQ(parallel.sent, serial.sent) << threads;
+    EXPECT_EQ(parallel.lost, serial.lost) << threads;
+    EXPECT_EQ(parallel.duplicated, serial.duplicated) << threads;
+    EXPECT_EQ(parallel.delivered_alive, serial.delivered_alive) << threads;
+    // Doubles summed in fixed trial order: bitwise equality.
+    EXPECT_EQ(parallel.total_time, serial.total_time) << threads;
+  }
+  core::set_global_thread_count(core::ThreadPool::default_thread_count());
+}
+
+// --- Acceptance: 20% i.i.d. loss on LHG(512, 4) ---------------------
+//
+// Raw flooding sends each copy once, so at 20% loss some node's every
+// incoming copy is dropped in a substantial fraction of trials; the
+// seeds below were picked to exhibit that (deterministic per seed,
+// forever).  The ack/retry layer must deliver to everyone on those same
+// seeds — and on any others.
+TEST(Integration, ReliableFloodBeatsRawFloodUnderTwentyPercentLoss) {
+  const auto g = lhg::build(512, 4);
+  const ChaosSpec chaos = ChaosSpec::iid(0.2);
+  const std::uint64_t kSeeds[] = {3, 4, 6, 7, 8, 9, 10, 11};
+  for (const std::uint64_t seed : kSeeds) {
+    SCOPED_TRACE(testing::Message() << "seed " << seed);
+    const auto raw = flood(g, {.source = 0, .seed = seed, .chaos = chaos});
+    EXPECT_FALSE(raw.all_alive_delivered());
+    EXPECT_GT(raw.net.lost, 0);
+
+    ReliableBroadcastConfig cfg;
+    cfg.source = 0;
+    cfg.seed = seed;
+    cfg.chaos = chaos;
+    cfg.retransmit_interval = 3.0;
+    cfg.max_retries = 8;
+    const auto rel = reliable_broadcast(g, cfg, {});
+    EXPECT_TRUE(rel.all_alive_delivered());
+    EXPECT_EQ(rel.delivered_alive, 512);
+    EXPECT_GT(rel.retransmissions, 0);
+  }
+}
+
+}  // namespace
+}  // namespace lhg::flooding
