@@ -24,6 +24,7 @@
 #include "flooding/trial_runner.h"
 #include "harary/harary.h"
 #include "lhg/lhg.h"
+#include "obs/trace.h"
 #include "report.h"
 #include "table.h"
 
@@ -126,5 +127,87 @@ int main(int argc, char** argv) {
   std::cout << "shape check: harary_rounds ~ n/k; lhg_rounds ~ 2*log_{k-1}(n); "
                "message counts comparable (~= 2m - n + 1); incomplete == 0 "
                "everywhere\n";
+
+  // --- Observability overhead gate (DESIGN.md §12) ---------------------
+  // The same flood workload timed with obs fully disabled and with
+  // metrics + trace recording on.  The obs=off row is the one
+  // bench_compare.py gates against baseline.json — it must not move
+  // when the instrumentation is compiled in but switched off; the
+  // obs=on row quantifies the cost of actually watching and carries the
+  // merged metrics document in the JSON report.
+  {
+    const std::int32_t k = 4;
+    const core::NodeId n = opts.small ? 1024 : 4096;
+    const int obs_trials = trials * 4;
+    const auto g = build(n, k);
+    const auto obs_sweep = [&](bool watch) {
+      const flooding::TrialRunner runner{.seed = 97};
+      obs::Snapshot merged;
+      const bench::WallTimer timer;
+      const Agg agg = runner.run<Agg>(
+          obs_trials, Agg{},
+          [&](std::int64_t t, core::Rng& rng) {
+            flooding::FloodConfig cfg;
+            cfg.source = static_cast<core::NodeId>(
+                t % static_cast<std::int64_t>(g.num_nodes()));
+            cfg.seed = rng();
+            if (watch) cfg.obs = {.metrics = true, .trace = true};
+            const auto result = flood(g, cfg);
+            Agg one;
+            one.events = result.events_processed;
+            one.messages = result.messages_sent;
+            one.incomplete = result.all_alive_delivered() ? 0 : 1;
+            return one;
+          },
+          Agg::merge);
+      if (watch) {
+        // The metrics document comes from an untimed serial pass of the
+        // same workload shape: per-trial snapshots share one schema, so
+        // merge_from aggregates them element-wise and deterministically,
+        // and snapshotting cost never leaks into the timed wall_ns.
+        for (std::int64_t t = 0; t < obs_trials; ++t) {
+          core::Rng rng(97 + static_cast<std::uint64_t>(t));
+          flooding::FloodConfig cfg;
+          cfg.source = static_cast<core::NodeId>(
+              t % static_cast<std::int64_t>(g.num_nodes()));
+          cfg.seed = rng();
+          cfg.obs = {.metrics = true, .trace = false};
+          merged.merge_from(flood(g, cfg).metrics);
+        }
+      }
+      report.add(std::string("flood/obs=") + (watch ? "on" : "off") +
+                     "/k=" + std::to_string(k) + "/n=" + std::to_string(n),
+                 {{"topo", "lhg"},
+                  {"k", k},
+                  {"n", n},
+                  {"trials", obs_trials},
+                  {"events", agg.events},
+                  {"obs", watch ? 1 : 0}},
+                 timer.elapsed_ns(),
+                 watch ? merged.to_json() : std::string{});
+      return timer.elapsed_ns();
+    };
+    const std::int64_t off_ns = obs_sweep(false);
+    const std::int64_t on_ns = obs_sweep(true);
+    std::cout << "\nobs overhead: off=" << off_ns / 1000000 << "ms on="
+              << on_ns / 1000000 << "ms ("
+              << 100.0 * (static_cast<double>(on_ns - off_ns) /
+                          static_cast<double>(off_ns))
+              << "% when recording; disabled-obs row is the gated one)\n";
+  }
+
+  // --- Trace export (--trace): one instrumented flood, Chrome JSON ----
+  if (!opts.trace_path.empty()) {
+    const core::NodeId n = opts.small ? 256 : 1024;
+    flooding::FloodConfig cfg;
+    cfg.seed = 7;
+    cfg.obs = {.metrics = true, .trace = true, .trace_capacity = 1 << 16};
+    const auto result = flood(build(n, 4), cfg);
+    if (!obs::write_chrome_trace(opts.trace_path, result.trace)) return 1;
+    std::cout << "wrote " << result.trace.events.size()
+              << " trace events (dropped " << result.trace.dropped << ") to "
+              << opts.trace_path << '\n';
+  }
+
   return opts.finish(report);
 }

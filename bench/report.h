@@ -83,7 +83,18 @@ class BenchReport {
   /// baseline comparisons; keep it parameter-derived and stable.
   void add(std::string name, std::vector<Param> params,
            std::int64_t wall_ns) {
-    entries_.push_back({std::move(name), std::move(params), wall_ns});
+    entries_.push_back({std::move(name), std::move(params), wall_ns, {}});
+  }
+
+  /// Records one measurement with an attached metrics document — the
+  /// obs::Snapshot::to_json() of an instrumented run.  `metrics_json`
+  /// must be a complete JSON value; it is embedded verbatim under the
+  /// entry's "metrics" key.  bench_compare.py gates wall_ns only, so
+  /// metrics ride along without affecting baseline comparisons.
+  void add(std::string name, std::vector<Param> params, std::int64_t wall_ns,
+           std::string metrics_json) {
+    entries_.push_back(
+        {std::move(name), std::move(params), wall_ns, std::move(metrics_json)});
   }
 
   /// Commit identifier for the report: $LHG_GIT_SHA, else $GITHUB_SHA,
@@ -120,7 +131,11 @@ class BenchReport {
         }
       }
       out << (e.params.empty() ? "}" : " }");
-      out << ", \"wall_ns\": " << e.wall_ns << " }";
+      out << ", \"wall_ns\": " << e.wall_ns;
+      if (!e.metrics_json.empty()) {
+        out << ", \"metrics\": " << e.metrics_json;
+      }
+      out << " }";
     }
     out << (entries_.empty() ? "]\n" : "\n  ]\n");
     out << "}\n";
@@ -146,6 +161,7 @@ class BenchReport {
     std::string name;
     std::vector<Param> params;
     std::int64_t wall_ns = 0;
+    std::string metrics_json;  // empty: entry has no metrics document
   };
 
   static std::string quoted(const std::string& s) {
@@ -187,10 +203,14 @@ class BenchReport {
 };
 
 /// Shared command-line contract for bench binaries:
-///   --json <path>   write a BenchReport JSON file
-///   --small         reduced problem sizes (CI smoke runs)
+///   --json <path>    write a BenchReport JSON file
+///   --small          reduced problem sizes (CI smoke runs)
+///   --trace <path>   export a Chrome trace_event JSON file from an
+///                    instrumented run (benches that don't trace
+///                    silently ignore it)
 struct BenchOptions {
-  std::string json_path;  // empty: no JSON output
+  std::string json_path;   // empty: no JSON output
+  std::string trace_path;  // empty: no trace export
   bool small = false;
 
   static BenchOptions parse(int argc, char** argv) {
@@ -199,10 +219,13 @@ struct BenchOptions {
       const std::string arg = argv[i];
       if (arg == "--json" && i + 1 < argc) {
         opts.json_path = argv[++i];
+      } else if (arg == "--trace" && i + 1 < argc) {
+        opts.trace_path = argv[++i];
       } else if (arg == "--small") {
         opts.small = true;
       } else {
-        std::cerr << "usage: " << argv[0] << " [--json <path>] [--small]\n";
+        std::cerr << "usage: " << argv[0]
+                  << " [--json <path>] [--trace <path>] [--small]\n";
         std::exit(2);
       }
     }

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate an exported trace against the Chrome trace_event schema.
+
+Consumes the JSON files written by ``obs::write_chrome_trace`` (bench
+binaries' ``--trace`` flag) and checks the subset of the Trace Event
+Format that chrome://tracing and Perfetto actually require to load the
+file:
+
+  * top level is an object with a ``traceEvents`` array
+  * every event is an object with a string ``ph`` (a known phase) and
+    integer-valued ``pid`` / ``tid``
+  * non-metadata events carry a numeric, non-negative ``ts``
+  * instant events (``ph: "i"``) carry a valid scope ``s`` in
+    {"g", "p", "t"}
+  * names are non-empty strings; ``args``, when present, is an object
+
+The sink's own conventions are checked on top: timestamps must be
+monotonically non-decreasing (the ring stores events in record order)
+and ``otherData.dropped_events``, when present, must be a non-negative
+integer.  Exit status 0 means the file loads; 1 means a violation was
+found; 2 is a usage/IO error.  stdlib only, CI-friendly.
+
+Usage:
+    scripts/trace_check.py trace.json [more.json ...]
+"""
+
+import json
+import sys
+
+KNOWN_PHASES = {
+    "B", "E", "X", "i", "I", "C", "b", "n", "e", "s", "t", "f",
+    "P", "N", "O", "D", "M", "V", "v", "R", "c",
+}
+INSTANT_SCOPES = {"g", "p", "t"}
+
+
+def fail(path, index, message):
+    where = f"{path}: traceEvents[{index}]" if index is not None else path
+    print(f"FAIL {where}: {message}")
+    return False
+
+
+def check_event(path, index, event):
+    if not isinstance(event, dict):
+        return fail(path, index, "event is not an object")
+    ph = event.get("ph")
+    if not isinstance(ph, str) or ph not in KNOWN_PHASES:
+        return fail(path, index, f"bad phase {ph!r}")
+    for key in ("pid", "tid"):
+        value = event.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            return fail(path, index, f"{key} must be an integer, got {value!r}")
+    name = event.get("name")
+    if name is not None and (not isinstance(name, str) or not name):
+        return fail(path, index, f"name must be a non-empty string, got {name!r}")
+    if "args" in event and not isinstance(event["args"], dict):
+        return fail(path, index, "args must be an object")
+    if ph == "M":
+        return True  # metadata events need no timestamp
+    ts = event.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+        return fail(path, index, f"ts must be a number, got {ts!r}")
+    if ts < 0:
+        return fail(path, index, f"ts must be non-negative, got {ts}")
+    if ph in ("i", "I"):
+        scope = event.get("s", "t")
+        if scope not in INSTANT_SCOPES:
+            return fail(path, index, f"instant scope must be g/p/t, got {scope!r}")
+    return True
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"FAIL {path}: cannot read: {e}")
+        return False
+    except json.JSONDecodeError as e:
+        print(f"FAIL {path}: invalid JSON: {e}")
+        return False
+
+    if not isinstance(doc, dict):
+        return fail(path, None, "top level must be an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, None, "missing traceEvents array")
+
+    ok = True
+    last_ts = None
+    counts = {}
+    for i, event in enumerate(events):
+        if not check_event(path, i, event):
+            ok = False
+            continue
+        counts[event.get("name", "?")] = counts.get(event.get("name", "?"), 0) + 1
+        ts = event.get("ts")
+        if event.get("ph") == "M" or ts is None:
+            continue
+        # The sink appends in simulation order: non-decreasing ts.
+        if last_ts is not None and ts < last_ts:
+            ok = fail(path, i, f"ts went backwards ({ts} < {last_ts})")
+        last_ts = ts
+
+    dropped = doc.get("otherData", {})
+    if not isinstance(dropped, dict):
+        return fail(path, None, "otherData must be an object")
+    dropped = dropped.get("dropped_events", 0)
+    if not isinstance(dropped, int) or isinstance(dropped, bool) or dropped < 0:
+        ok = fail(path, None,
+                  f"dropped_events must be a non-negative integer, got {dropped!r}")
+
+    if ok:
+        summary = ", ".join(f"{name}={count}"
+                            for name, count in sorted(counts.items()))
+        print(f"OK   {path}: {len(events)} events"
+              f" (dropped={dropped}) [{summary}]")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[-1])
+        return 2
+    ok = True
+    for path in argv[1:]:
+        ok = check_file(path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

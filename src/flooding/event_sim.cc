@@ -82,6 +82,10 @@ void Simulator::bucket_heap_pop() {
 void Simulator::dispatch(const Event& ev) {
   ++processed_;
   --pending_;
+  if (obs_ != nullptr) {
+    obs_->add(ev.kind == kDeliver ? obs_->sim_deliver_events
+                                  : obs_->sim_callback_events);
+  }
   if (ev.kind == kDeliver) {
     // The whole payload is in `ev` — copied off the queue, so the sink
     // is free to schedule follow-up events.
@@ -109,6 +113,10 @@ void Simulator::drain_front(double deadline, bool bounded) {
       dispatch(ev);
     }
     bucket_heap_pop();
+    if (obs_ != nullptr) {
+      obs_->observe(obs_->sim_bucket_events,
+                    static_cast<std::int64_t>(buckets_[b].events.size()));
+    }
     if (last_bucket_ == b) last_bucket_ = kNoBucket;
     buckets_[b].events.clear();
     buckets_[b].head = 0;

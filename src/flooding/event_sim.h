@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "core/check.h"
+#include "obs/obs.h"
 
 namespace lhg::flooding {
 
@@ -91,6 +92,11 @@ class Simulator {
 
   /// Current virtual time.  Starts at 0.
   double now() const { return now_; }
+
+  /// Observability tap (may be null; default).  Counts executed events
+  /// by kind and the size of each drained time bucket; recording never
+  /// reorders or perturbs the event stream.
+  void set_obs(const obs::SimObs* obs) { obs_ = obs; }
 
   /// Schedules `fn` (any callable) to run at absolute virtual time
   /// `time` (>= now()).  Fails a contract on times in the past or NaN,
@@ -312,6 +318,7 @@ class Simulator {
   std::int64_t callback_heap_allocations_ = 0;
   double now_ = 0.0;
   std::int64_t processed_ = 0;
+  const obs::SimObs* obs_ = nullptr;
 };
 
 }  // namespace lhg::flooding

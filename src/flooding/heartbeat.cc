@@ -1,5 +1,6 @@
 #include "flooding/heartbeat.h"
 
+#include <functional>
 #include <utility>
 
 #include "core/check.h"
@@ -20,6 +21,10 @@ HeartbeatResult run_heartbeat(const core::Graph& topology,
   Simulator sim;
   core::Rng rng(cfg.seed);
   Network net(topology, sim, cfg.latency, rng, cfg.loss_probability);
+  obs::Runtime obs_rt(cfg.obs);
+  const obs::SimObs* obs = obs_rt.obs();
+  sim.set_obs(obs);
+  net.set_obs(obs);
   std::vector<std::pair<NodeId, double>> crash_time;  // plan order
   for (const NodeCrash& crash : failures.crashes) {
     if (crash.time > 0.0) crash_time.emplace_back(crash.node, crash.time);
@@ -50,7 +55,14 @@ HeartbeatResult run_heartbeat(const core::Graph& topology,
       if (suspected[a] != 0) return;
       suspected[a] = 1;
       suspect_time[a] = sim.now();
-      if (net.is_alive(target)) ++result.false_suspicions;
+      const bool false_alarm = net.is_alive(target);
+      if (false_alarm) ++result.false_suspicions;
+      if (obs != nullptr) {
+        obs->add(obs->hb_suspicions);
+        if (false_alarm) obs->add(obs->hb_false_suspicions);
+        obs->event(sim.now(), obs::TraceKind::kSuspicion, observer, target,
+                   false_alarm ? 1 : 0);
+      }
     });
   };
 
@@ -62,17 +74,31 @@ HeartbeatResult run_heartbeat(const core::Graph& topology,
     schedule_check(self, from, arc, sim.now());
   });
 
-  // Periodic beats from every node until it crashes or the horizon.
-  for (NodeId u = 0; u < topology.num_nodes(); ++u) {
-    for (double t = cfg.interval; t <= cfg.horizon; t += cfg.interval) {
-      sim.schedule_at(t, [&, u] {
-        std::int32_t arc = topology.arc_begin(u);
-        for (NodeId v : topology.neighbors(u)) {
-          net.send_link(u, v, topology.edge_of_arc(arc), 0);
-          ++arc;
-        }
-      });
+  // Periodic beats: each node re-arms its own next beat instead of
+  // pre-scheduling horizon/interval events per node up front, so the
+  // pending-event set stays O(n) however long the horizon — the same
+  // per-resource exhaustion pattern reliable_link's 1024-seq cap had,
+  // fixed the same way (a constant-size rolling footprint).  Crashed
+  // nodes keep ticking: their sends are refused at the Network without
+  // consuming Rng draws, exactly like the pre-scheduled schedule, and a
+  // recovered node resumes beating on the next tick.  The next-beat
+  // time accumulates as t + interval per tick (not k * interval), so
+  // beat timestamps stay bit-identical to the pre-scheduled loop's.
+  std::function<void(NodeId, double)> beat = [&](NodeId u, double t) {
+    std::int32_t arc = topology.arc_begin(u);
+    for (NodeId v : topology.neighbors(u)) {
+      net.send_link(u, v, topology.edge_of_arc(arc), 0);
+      ++arc;
     }
+    if (obs != nullptr) obs->add(obs->hb_beats);
+    const double next = t + cfg.interval;
+    if (next <= cfg.horizon) {
+      sim.schedule_at(next, [&beat, u, next] { beat(u, next); });
+    }
+  };
+  for (NodeId u = 0; u < topology.num_nodes(); ++u) {
+    sim.schedule_at(cfg.interval,
+                    [&beat, u, t = cfg.interval] { beat(u, t); });
     // Everyone starts "heard at 0".
     for (NodeId v : topology.neighbors(u)) {
       const std::int32_t arc = topology.arc_index(u, v);
@@ -106,6 +132,8 @@ HeartbeatResult run_heartbeat(const core::Graph& topology,
     detection.detection_latency = complete ? worst : -1.0;
     result.detections.push_back(detection);
   }
+  result.metrics = obs_rt.metrics_snapshot();
+  result.trace = obs_rt.trace_log();
   return result;
 }
 

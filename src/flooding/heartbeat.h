@@ -19,6 +19,7 @@
 #include "core/graph.h"
 #include "flooding/failure.h"
 #include "flooding/network.h"
+#include "obs/obs.h"
 
 namespace lhg::flooding {
 
@@ -29,6 +30,8 @@ struct HeartbeatConfig {
   LatencySpec latency = LatencySpec::fixed(0.1);
   double loss_probability = 0.0;
   std::uint64_t seed = 1;
+  /// Metrics / trace recording (off by default: zero overhead).
+  obs::ObsConfig obs{};
 };
 
 struct CrashDetection {
@@ -44,6 +47,10 @@ struct HeartbeatResult {
   std::vector<CrashDetection> detections;  // one per crashed node
   /// Suspicions raised against nodes that were alive at the time.
   std::int64_t false_suspicions = 0;
+
+  /// Observability output (empty unless the config enables it).
+  obs::Snapshot metrics;
+  obs::TraceLog trace;
 
   bool all_crashes_detected() const {
     for (const auto& d : detections) {

@@ -59,6 +59,9 @@ void Network::crash_now(NodeId node) {
   if (crashed_[static_cast<std::size_t>(node)] == 0) {
     crashed_[static_cast<std::size_t>(node)] = 1;
     --alive_count_;
+    if (obs_ != nullptr) {
+      obs_->event(sim_->now(), obs::TraceKind::kCrash, node);
+    }
   }
 }
 
@@ -71,6 +74,9 @@ void Network::recover_now(NodeId node) {
   if (crashed_[static_cast<std::size_t>(node)] != 0) {
     crashed_[static_cast<std::size_t>(node)] = 0;
     ++alive_count_;
+    if (obs_ != nullptr) {
+      obs_->event(sim_->now(), obs::TraceKind::kRecover, node);
+    }
   }
 }
 
@@ -160,6 +166,9 @@ void Network::schedule_copy(NodeId from, NodeId to, std::int32_t link,
   if (chaos_.reorder > 0.0 && rng_->next_bool(chaos_.reorder)) {
     delay += chaos_.reorder_jitter * rng_->next_double();
   }
+  if (obs_ != nullptr) {
+    obs_->observe(obs_->net_delay, obs::SimObs::milli_ticks(delay));
+  }
   sim_->schedule_deliver_in(delay, this, from, to, link, message);
 }
 
@@ -176,24 +185,37 @@ bool Network::send_link(NodeId from, NodeId to, std::int32_t link,
              "send_link: {} is not the edge id of ({}, {})", link, from, to);
   if (crashed_[static_cast<std::size_t>(from)] != 0) {
     ++stats_.blocked_sender_crashed;
+    blocked(from, to, obs::DropCause::kBlockedSenderCrashed);
     return false;
   }
   if (link_failed_[static_cast<std::size_t>(link)] != 0) {
     ++stats_.blocked_link_down;
+    blocked(from, to, obs::DropCause::kBlockedLinkDown);
     return false;
   }
   if (partition_cuts(from, to)) {
     ++stats_.blocked_partition;
+    blocked(from, to, obs::DropCause::kBlockedPartition);
     return false;
   }
   ++stats_.sent;
+  if (obs_ != nullptr) {
+    obs_->add(obs_->net_sent);
+    obs_->event(sim_->now(), obs::TraceKind::kSend, from, to, link);
+  }
   if (channel_drops(link)) {
     ++stats_.lost;  // transmitted but dropped on the wire
+    if (obs_ != nullptr) {
+      obs_->add(obs_->net_lost);
+      obs_->event(sim_->now(), obs::TraceKind::kDrop, from, to,
+                  static_cast<std::int64_t>(obs::DropCause::kChannelLoss));
+    }
     return true;
   }
   schedule_copy(from, to, link, message);
   if (chaos_.duplicate > 0.0 && rng_->next_bool(chaos_.duplicate)) {
     ++stats_.duplicated;
+    if (obs_ != nullptr) obs_->add(obs_->net_duplicated);
     schedule_copy(from, to, link, message);
   }
   return true;
@@ -208,18 +230,39 @@ void Network::on_deliver(std::int32_t from, std::int32_t to,
   // irrelevant here — it was alive at send time or send() refused.
   if (crashed_[static_cast<std::size_t>(to)] != 0) {
     ++stats_.dropped_receiver_crashed;
+    dropped(from, to, obs::DropCause::kReceiverCrashed);
     return;
   }
   if (link_failed_[static_cast<std::size_t>(link)] != 0) {
     ++stats_.dropped_link_down;
+    dropped(from, to, obs::DropCause::kLinkDown);
     return;
   }
   if (partition_cuts(from, to)) {
     ++stats_.dropped_partition;
+    dropped(from, to, obs::DropCause::kPartition);
     return;
   }
   ++stats_.delivered;
+  if (obs_ != nullptr) {
+    obs_->add(obs_->net_delivered);
+    obs_->event(sim_->now(), obs::TraceKind::kDeliver, to, from, link);
+  }
   if (on_receive_) on_receive_(to, from, message);
+}
+
+void Network::blocked(NodeId from, NodeId to, obs::DropCause cause) {
+  if (obs_ == nullptr) return;
+  obs_->add(obs_->net_blocked);
+  obs_->event(sim_->now(), obs::TraceKind::kDrop, from, to,
+              static_cast<std::int64_t>(cause));
+}
+
+void Network::dropped(NodeId from, NodeId to, obs::DropCause cause) {
+  if (obs_ == nullptr) return;
+  obs_->add(obs_->net_dropped);
+  obs_->event(sim_->now(), obs::TraceKind::kDrop, from, to,
+              static_cast<std::int64_t>(cause));
 }
 
 }  // namespace lhg::flooding

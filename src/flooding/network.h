@@ -156,6 +156,12 @@ class Network final : private Simulator::DeliverSink {
   const core::Graph& topology() const { return *topology_; }
   Simulator& simulator() { return *sim_; }
 
+  /// Observability tap (may be null; default).  Mirrors NetworkStats
+  /// into the metrics registry and emits send/drop/deliver/crash trace
+  /// events; recording never draws from the Rng, so enabling it cannot
+  /// change a run.
+  void set_obs(const obs::SimObs* obs) { obs_ = obs; }
+
   /// Handler invoked on message delivery: (receiver, sender, message id).
   using ReceiveHandler =
       std::function<void(core::NodeId, core::NodeId, std::int64_t)>;
@@ -241,6 +247,10 @@ class Network final : private Simulator::DeliverSink {
   void schedule_copy(core::NodeId from, core::NodeId to, std::int32_t link,
                      std::int64_t message);
 
+  // Cold-path obs recording for refused sends / dropped copies.
+  void blocked(core::NodeId from, core::NodeId to, obs::DropCause cause);
+  void dropped(core::NodeId from, core::NodeId to, obs::DropCause cause);
+
   bool partition_cuts(core::NodeId u, core::NodeId v) const {
     return partition_active_ &&
            partition_side_[static_cast<std::size_t>(u)] !=
@@ -253,6 +263,7 @@ class Network final : private Simulator::DeliverSink {
   core::Rng* rng_;
   ChaosSpec chaos_;
   NetworkStats stats_;
+  const obs::SimObs* obs_ = nullptr;
   ReceiveHandler on_receive_;
   std::vector<std::uint8_t> crashed_;  // byte-wide: hot-path loads, no bit ops
   std::int32_t alive_count_ = 0;

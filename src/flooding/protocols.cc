@@ -52,6 +52,9 @@ DisseminationResult flood(const core::Graph& topology, const FloodConfig& cfg,
   Simulator sim;
   core::Rng rng(cfg.seed);
   Network net(topology, sim, cfg.latency, rng, cfg.chaos);
+  obs::Runtime obs_rt(cfg.obs);
+  sim.set_obs(obs_rt.obs());
+  net.set_obs(obs_rt.obs());
   apply_failure_plan(net, failures);
 
   DisseminationResult result;
@@ -87,6 +90,8 @@ DisseminationResult flood(const core::Graph& topology, const FloodConfig& cfg,
   result.messages_sent = net.messages_sent();
   result.events_processed = sim.events_processed();
   result.net = net.stats();
+  result.metrics = obs_rt.metrics_snapshot();
+  result.trace = obs_rt.trace_log();
   finalize(result, alive_mask(net));
   return result;
 }
@@ -101,6 +106,9 @@ DisseminationResult probabilistic_flood(const core::Graph& topology,
   core::Rng rng(cfg.seed);
   core::Rng coin = rng.split();
   Network net(topology, sim, cfg.latency, rng);
+  obs::Runtime obs_rt(cfg.obs);
+  sim.set_obs(obs_rt.obs());
+  net.set_obs(obs_rt.obs());
   apply_failure_plan(net, failures);
 
   DisseminationResult result;
@@ -138,6 +146,8 @@ DisseminationResult probabilistic_flood(const core::Graph& topology,
   result.messages_sent = net.messages_sent();
   result.events_processed = sim.events_processed();
   result.net = net.stats();
+  result.metrics = obs_rt.metrics_snapshot();
+  result.trace = obs_rt.trace_log();
   finalize(result, alive_mask(net));
   return result;
 }
@@ -259,6 +269,9 @@ DisseminationResult spanning_tree_multicast(const core::Graph& topology,
   Simulator sim;
   core::Rng rng(cfg.seed);
   Network net(topology, sim, cfg.latency, rng);
+  obs::Runtime obs_rt(cfg.obs);
+  sim.set_obs(obs_rt.obs());
+  net.set_obs(obs_rt.obs());
   apply_failure_plan(net, failures);
 
   DisseminationResult result;
@@ -289,6 +302,8 @@ DisseminationResult spanning_tree_multicast(const core::Graph& topology,
   result.messages_sent = net.messages_sent();
   result.events_processed = sim.events_processed();
   result.net = net.stats();
+  result.metrics = obs_rt.metrics_snapshot();
+  result.trace = obs_rt.trace_log();
   finalize(result, alive_mask(net));
   return result;
 }

@@ -15,6 +15,7 @@
 #include "core/rng.h"
 #include "flooding/failure.h"
 #include "flooding/network.h"
+#include "obs/obs.h"
 
 namespace lhg::flooding {
 
@@ -39,6 +40,13 @@ struct DisseminationResult {
   /// Max delivery hop count over delivered alive nodes.
   std::int32_t completion_hops = 0;
 
+  /// Observability output, populated only when the config's ObsConfig
+  /// enables it (empty otherwise; round-based protocols that never
+  /// touch the event engine always leave it empty).  Simulation results
+  /// are bit-identical with or without it.
+  obs::Snapshot metrics;
+  obs::TraceLog trace;
+
   /// Reliability: every alive node was delivered.
   bool all_alive_delivered() const { return delivered_alive == alive_nodes; }
   double delivery_ratio() const {
@@ -54,6 +62,8 @@ struct FloodConfig {
   std::uint64_t seed = 1;  // drives latency jitter and chaos draws
   /// Adversarial channel conditions (loss, duplication, reordering).
   ChaosSpec chaos{};
+  /// Metrics / trace recording (off by default: zero overhead).
+  obs::ObsConfig obs{};
 };
 
 /// Deterministic flooding: the source sends to all overlay neighbors;
@@ -94,6 +104,7 @@ struct ProbabilisticFloodConfig {
   double forward_probability = 0.7;
   LatencySpec latency = LatencySpec::fixed(1.0);
   std::uint64_t seed = 1;
+  obs::ObsConfig obs{};
 };
 
 /// Probabilistic ("gossip-style") flooding over the overlay: every
@@ -109,6 +120,7 @@ struct TreeConfig {
   core::NodeId source = 0;
   LatencySpec latency = LatencySpec::fixed(1.0);
   std::uint64_t seed = 1;
+  obs::ObsConfig obs{};
 };
 
 /// Multicast over a BFS spanning tree of `topology` rooted at the

@@ -25,6 +25,9 @@ ReliableBroadcastResult reliable_broadcast(const core::Graph& topology,
                               ? cfg.chaos
                               : ChaosSpec::iid(cfg.loss_probability);
   Network net(topology, sim, cfg.latency, rng, chaos);
+  obs::Runtime obs_rt(cfg.obs);
+  sim.set_obs(obs_rt.obs());
+  net.set_obs(obs_rt.obs());
   apply_failure_plan(net, failures);
 
   BackoffPolicy backoff;
@@ -34,6 +37,7 @@ ReliableBroadcastResult reliable_broadcast(const core::Graph& topology,
   backoff.jitter = cfg.backoff_jitter;
   backoff.max_retries = cfg.max_retries;
   ReliableLink link(net, backoff, rng);
+  link.set_obs(obs_rt.obs());
 
   ReliableBroadcastResult result;
   const auto n = static_cast<std::size_t>(topology.num_nodes());
@@ -72,6 +76,9 @@ ReliableBroadcastResult reliable_broadcast(const core::Graph& topology,
   result.retransmissions = link.retransmissions();
   result.acks_sent = link.acks_sent();
   result.duplicates_suppressed = link.duplicates_suppressed();
+  result.window_overflows = link.window_overflows();
+  result.metrics = obs_rt.metrics_snapshot();
+  result.trace = obs_rt.trace_log();
   result.alive_nodes = 0;
   result.delivered_alive = 0;
   for (NodeId u = 0; u < topology.num_nodes(); ++u) {

@@ -48,6 +48,9 @@ struct ReliableBroadcastConfig {
   /// Multiplicative retry jitter in [0, 1); 0 keeps retries aligned
   /// (and consumes no Rng draws).
   double backoff_jitter = 0.0;
+
+  /// Metrics / trace recording (off by default: zero overhead).
+  obs::ObsConfig obs{};
 };
 
 struct ReliableBroadcastResult : DisseminationResult {
@@ -55,6 +58,9 @@ struct ReliableBroadcastResult : DisseminationResult {
   std::int64_t acks_sent = 0;
   std::int64_t messages_lost = 0;
   std::int64_t duplicates_suppressed = 0;
+  /// Frames abandoned by the sender's sliding window (an arc had 1024
+  /// unACKed seqs in flight); see ReliableLink::window_overflows.
+  std::int64_t window_overflows = 0;
 };
 
 /// Runs the protocol to completion (all timers drained) and reports

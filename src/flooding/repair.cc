@@ -38,6 +38,8 @@ struct RepairSim {
   core::Rng rng;
   Network net;
   ReliableLink link;
+  obs::Runtime obs_rt;
+  const obs::SimObs* obs;
   RepairResult res;
 
   std::size_t n;
@@ -67,6 +69,8 @@ struct RepairSim {
         rng(config.seed),
         net(graph, sim, config.latency, rng, config.chaos),
         link(net, config.view_backoff, rng),
+        obs_rt(config.obs),
+        obs(obs_rt.obs()),
         n(static_cast<std::size_t>(graph.num_nodes())),
         in_perm(n, 0),
         last_heard(static_cast<std::size_t>(graph.num_arcs()), 0.0),
@@ -75,7 +79,11 @@ struct RepairSim {
         down_view(n * n, 0),
         up_seen(n * n, 0),
         match(n, 0),
-        initiated(n, 0) {}
+        initiated(n, 0) {
+    sim.set_obs(obs);
+    net.set_obs(obs);
+    link.set_obs(obs);
+  }
 
   bool underlay_drops() {
     return cfg.underlay_loss > 0.0 && rng.next_bool(cfg.underlay_loss);
@@ -87,6 +95,22 @@ struct RepairSim {
     for (NodeId v : g.neighbors(u)) {
       if (link.send_raw_arc(u, v, arc, 0)) ++res.heartbeats_sent;
       ++arc;
+    }
+    if (obs != nullptr) obs->add(obs->hb_beats);
+  }
+
+  // Periodic beats re-arm themselves each tick (pending events stay
+  // O(n) for any horizon, the rolling-footprint discipline of
+  // DESIGN.md §12), accumulating the next-beat time as t + interval so
+  // the tick timestamps match the old pre-scheduled loop bit for bit.
+  // Re-arming is unconditional: a crashed node's beat() no-ops but the
+  // tick keeps running, so a recovered node resumes beating exactly as
+  // the pre-scheduled schedule did.
+  void beat_tick(NodeId u, double t) {
+    beat(u);
+    const double next = t + cfg.heartbeat_interval;
+    if (next <= cfg.horizon) {
+      sim.schedule_at(next, [this, u, next] { beat_tick(u, next); });
     }
   }
 
@@ -106,10 +130,17 @@ struct RepairSim {
           if (suspected[a] != 0) return;
           suspected[a] = 1;
           const auto t = static_cast<std::size_t>(target);
-          if (net.is_alive(target)) {
+          const bool false_alarm = net.is_alive(target);
+          if (false_alarm) {
             ++res.false_suspicions;
           } else if (first_suspect[t] < 0.0) {
             first_suspect[t] = sim.now();
+          }
+          if (obs != nullptr) {
+            obs->add(obs->hb_suspicions);
+            if (false_alarm) obs->add(obs->hb_false_suspicions);
+            obs->event(sim.now(), obs::TraceKind::kSuspicion, observer, target,
+                       false_alarm ? 1 : 0);
           }
           learn_down(observer, target, /*relay_except=*/-1);
         });
@@ -131,6 +162,11 @@ struct RepairSim {
         ++res.view_change_messages;
       }
       ++arc;
+    }
+    if (obs != nullptr) {
+      obs->add(obs->repair_view_changes);
+      obs->event(sim.now(), obs::TraceKind::kViewChange, w, except,
+                 vc_node(payload));
     }
   }
 
@@ -210,6 +246,7 @@ struct RepairSim {
     if (h.established >= 0.0) return;
     if (net.is_alive(h.u)) {
       ++res.handshake_messages;  // the REQ
+      if (obs != nullptr) obs->add(obs->repair_handshakes);
       if (!underlay_drops()) {
         sim.schedule_in(cfg.underlay_latency,
                         [this, hid] { req_arrive(hid); });
@@ -227,6 +264,7 @@ struct RepairSim {
     Handshake& h = needed[static_cast<std::size_t>(hid)];
     if (!net.is_alive(h.v)) return;  // peer (still) down; retries cover it
     ++res.handshake_messages;        // the ACK (re-sent on duplicate REQs)
+    if (obs != nullptr) obs->add(obs->repair_handshakes);
     if (!underlay_drops()) {
       sim.schedule_in(cfg.underlay_latency, [this, hid] { ack_arrive(hid); });
     }
@@ -239,6 +277,10 @@ struct RepairSim {
     h.established = sim.now();
     ++established_count;
     res.reconnect_time = std::max(res.reconnect_time, h.established);
+    if (obs != nullptr) {
+      obs->add(obs->repair_rewires);
+      obs->event(sim.now(), obs::TraceKind::kRewire, h.u, h.v);
+    }
   }
 };
 
@@ -333,13 +375,11 @@ RepairResult run_repair(const core::Graph& topology, const RepairConfig& cfg,
         s.on_deliver(self, from, payload);
       });
 
-  // Periodic beats from every node until it crashes or the horizon;
+  // Periodic self-re-arming beats from every node until the horizon;
   // everyone starts "heard at 0".
   for (NodeId u = 0; u < num; ++u) {
-    for (double t = cfg.heartbeat_interval; t <= cfg.horizon;
-         t += cfg.heartbeat_interval) {
-      s.sim.schedule_at(t, [&s, u] { s.beat(u); });
-    }
+    s.sim.schedule_at(cfg.heartbeat_interval,
+                      [&s, u, t = cfg.heartbeat_interval] { s.beat_tick(u, t); });
     std::int32_t arc = topology.arc_begin(u);
     for (NodeId v : topology.neighbors(u)) {
       s.arm_check(u, v, arc, 0.0);
@@ -366,7 +406,10 @@ RepairResult run_repair(const core::Graph& topology, const RepairConfig& cfg,
 
   RepairResult res = std::move(s.res);
   res.view_change_messages += s.link.retransmissions() + s.link.acks_sent();
+  res.window_overflows = s.link.window_overflows();
   res.net = s.net.stats();
+  res.metrics = s.obs_rt.metrics_snapshot();
+  res.trace = s.obs_rt.trace_log();
   res.edges_established = s.established_count;
   res.repaired = s.established_count == res.edges_needed;
   if (!res.repaired) res.reconnect_time = -1.0;

@@ -80,6 +80,9 @@ struct RepairConfig {
   double underlay_loss = 0.0;
   /// Retry schedule for REQ/ACK handshakes (per needed edge).
   BackoffPolicy handshake_backoff{4.0, 2.0, 32.0, 0.0, 8, true};
+
+  /// Metrics / trace recording (off by default: zero overhead).
+  obs::ObsConfig obs{};
 };
 
 struct RepairResult {
@@ -107,7 +110,14 @@ struct RepairResult {
   /// Underlay REQ + ACK transmissions (including retries).
   std::int64_t handshake_messages = 0;
   std::int64_t false_suspicions = 0;
+  /// View-change frames abandoned by the reliable layer's sliding send
+  /// window (see ReliableLink::window_overflows); 0 in healthy runs.
+  std::int64_t window_overflows = 0;
   NetworkStats net{};  ///< overlay network counters (beats + view changes)
+
+  /// Observability output (empty unless the config enables it).
+  obs::Snapshot metrics;
+  obs::TraceLog trace;
 
   /// The healed overlay on dense survivor ids: surviving original
   /// edges (permanently failed links excluded) plus established ones.

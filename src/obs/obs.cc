@@ -1,0 +1,46 @@
+#include "obs/obs.h"
+
+namespace lhg::obs {
+
+SimObs::SimObs(Registry* registry, TraceSink* sink, std::int32_t shard)
+    : registry_(registry), sink_(sink), shard_(shard) {
+  if (registry_ == nullptr) return;
+  sim_deliver_events = registry_->counter("sim.deliver_events");
+  sim_callback_events = registry_->counter("sim.callback_events");
+  sim_bucket_events = registry_->histogram("sim.bucket_events");
+  net_sent = registry_->counter("net.sent");
+  net_delivered = registry_->counter("net.delivered");
+  net_lost = registry_->counter("net.lost");
+  net_duplicated = registry_->counter("net.duplicated");
+  net_blocked = registry_->counter("net.blocked");
+  net_dropped = registry_->counter("net.dropped");
+  net_delay = registry_->histogram("net.delay_milliticks");
+  link_data = registry_->counter("link.data");
+  link_retransmits = registry_->counter("link.retransmits");
+  link_acks = registry_->counter("link.acks");
+  link_duplicates = registry_->counter("link.duplicates");
+  link_overflows = registry_->counter("link.window_overflows");
+  link_stale = registry_->counter("link.stale_retries");
+  link_inflight = registry_->histogram("link.inflight_span");
+  hb_beats = registry_->counter("hb.beats");
+  hb_suspicions = registry_->counter("hb.suspicions");
+  hb_false_suspicions = registry_->counter("hb.false_suspicions");
+  repair_view_changes = registry_->counter("repair.view_changes");
+  repair_handshakes = registry_->counter("repair.handshakes");
+  repair_rewires = registry_->counter("repair.rewires");
+}
+
+Runtime::Runtime(const ObsConfig& config, std::int32_t shards)
+    : config_(config) {
+  if (config_.metrics) {
+    registry_ = std::make_unique<Registry>(shards);
+  }
+  if (config_.trace) {
+    sink_ = std::make_unique<TraceSink>(config_.trace_capacity);
+  }
+  if (config_.enabled()) {
+    sim_obs_ = std::make_unique<SimObs>(registry_.get(), sink_.get());
+  }
+}
+
+}  // namespace lhg::obs

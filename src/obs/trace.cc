@@ -1,0 +1,94 @@
+#include "obs/trace.h"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "core/check.h"
+
+namespace lhg::obs {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSend:
+      return "send";
+    case TraceKind::kDeliver:
+      return "deliver";
+    case TraceKind::kDrop:
+      return "drop";
+    case TraceKind::kRetransmit:
+      return "retransmit";
+    case TraceKind::kSuspicion:
+      return "suspicion";
+    case TraceKind::kViewChange:
+      return "view_change";
+    case TraceKind::kRewire:
+      return "rewire";
+    case TraceKind::kCrash:
+      return "crash";
+    case TraceKind::kRecover:
+      return "recover";
+  }
+  return "unknown";
+}
+
+TraceSink::TraceSink(std::int64_t capacity) {
+  LHG_CHECK(capacity >= 1, "obs: trace capacity {} must be positive",
+            capacity);
+  const auto want = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      capacity, 64));
+  const std::size_t rounded = std::bit_ceil(static_cast<std::size_t>(want));
+  ring_.resize(rounded);
+  mask_ = rounded - 1;
+}
+
+TraceLog TraceSink::log() const {
+  TraceLog out;
+  const std::int64_t n = size();
+  out.events.reserve(static_cast<std::size_t>(n));
+  // Oldest retained event: head_ - n (total count minus retained).
+  for (std::int64_t i = head_ - n; i < head_; ++i) {
+    out.events.push_back(ring_[static_cast<std::size_t>(i) & mask_]);
+  }
+  out.dropped = dropped();
+  return out;
+}
+
+void write_chrome_trace(std::ostream& out, const TraceLog& log) {
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  // Process metadata names the swimlane group in the viewer.
+  out << "    { \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \"name\": "
+         "\"process_name\", \"args\": { \"name\": \"lhg-sim\" } }";
+  for (const TraceEvent& e : log.events) {
+    // One virtual time unit = 1 ms; ts is integer microseconds (i.e.
+    // milli-ticks, the same scale the metrics histograms use).  Default
+    // double formatting would round long-run timestamps to 6 significant
+    // digits and collapse nearby events.
+    const auto ts_us = static_cast<std::int64_t>(e.time * 1000.0);
+    out << ",\n    { \"ph\": \"i\", \"s\": \"t\", \"ts\": " << ts_us
+        << ", \"pid\": 0, \"tid\": " << e.node << ", \"name\": \""
+        << trace_kind_name(e.kind) << "\", \"args\": { \"peer\": " << e.peer
+        << ", \"detail\": " << e.detail << " } }";
+  }
+  out << "\n  ],\n  \"otherData\": { \"dropped_events\": " << log.dropped
+      << " }\n}\n";
+}
+
+bool write_chrome_trace(const std::string& path, const TraceLog& log) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot open trace output '%s'\n", path.c_str());
+    return false;
+  }
+  write_chrome_trace(out, log);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "obs: failed writing trace output '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace lhg::obs
