@@ -35,12 +35,42 @@ DEFAULT_BASELINE = os.path.join(
     "bench", "baseline.json")
 
 
+class ReportError(Exception):
+    """A report (or the baseline) is unreadable, malformed, or empty.
+
+    Always fatal: a gate that shrugs at a truncated or empty report
+    would silently pass, which is exactly the failure mode this gate
+    exists to prevent.
+    """
+
+
 def load_report(path):
-    with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as err:
+        raise ReportError(f"{path}: cannot read report: {err}")
+    except json.JSONDecodeError as err:
+        raise ReportError(f"{path}: malformed JSON: {err}")
+    if not isinstance(doc, dict):
+        raise ReportError(f"{path}: report root must be an object, "
+                          f"got {type(doc).__name__}")
     for key in ("bench", "entries"):
         if key not in doc:
-            raise ValueError(f"{path}: missing '{key}' field")
+            raise ReportError(f"{path}: missing '{key}' field")
+    entries = doc["entries"]
+    if not isinstance(entries, list) or not entries:
+        raise ReportError(f"{path}: 'entries' must be a non-empty list "
+                          "(an empty report would pass the gate vacuously)")
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise ReportError(f"{path}: entries[{i}] has no 'name'")
+        wall_ns = entry.get("wall_ns")
+        if not isinstance(wall_ns, (int, float)) or isinstance(wall_ns, bool) \
+                or wall_ns < 0:
+            raise ReportError(
+                f"{path}: entries[{i}] ('{entry['name']}') has bad "
+                f"wall_ns: {wall_ns!r}")
     return doc
 
 
@@ -81,6 +111,9 @@ def main():
     args = parser.parse_args()
 
     current = flatten(load_report(p) for p in args.reports)
+    if not current:
+        raise ReportError("no bench entries found across "
+                          f"{len(args.reports)} report file(s)")
 
     if args.update:
         doc = {
@@ -95,8 +128,18 @@ def main():
         print(f"baseline updated: {len(current)} entries -> {args.baseline}")
         return 0
 
-    with open(args.baseline, encoding="utf-8") as f:
-        baseline = json.load(f)["entries"]
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline_doc = json.load(f)
+    except OSError as err:
+        raise ReportError(f"{args.baseline}: cannot read baseline: {err}")
+    except json.JSONDecodeError as err:
+        raise ReportError(f"{args.baseline}: malformed baseline JSON: {err}")
+    if not isinstance(baseline_doc, dict) or \
+            not isinstance(baseline_doc.get("entries"), dict):
+        raise ReportError(f"{args.baseline}: baseline must be an object "
+                          "with an 'entries' mapping")
+    baseline = baseline_doc["entries"]
 
     regressions, improvements, skipped_fast, missing = [], [], [], []
     for key, wall_ns in sorted(current.items()):
@@ -149,4 +192,8 @@ def main():
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except ReportError as err:
+        print(f"bench gate: ERROR: {err}", file=sys.stderr)
+        sys.exit(2)

@@ -1,30 +1,71 @@
 #!/usr/bin/env bash
-# Correctness gate: clang-tidy over src/ (when available) followed by
-# the full test suite under AddressSanitizer + UndefinedBehaviorSanitizer.
-# Exits non-zero on any tidy diagnostic-as-error, build failure, test
-# failure, or sanitizer report (-fno-sanitize-recover=all turns every
-# report into a test failure).
+# Correctness gate, four stages:
+#   1. determinism linter (scripts/lint_determinism.py) over src/
+#   2. header self-containment: every src/**/*.h compiles standalone
+#   3. clang-tidy over src/ (when clang-tidy is available)
+#   4. full test suite under AddressSanitizer + UBSan
+# Exits non-zero on any linter finding, non-standalone header, tidy
+# diagnostic-as-error, build failure, test failure, or sanitizer report
+# (-fno-sanitize-recover=all turns every report into a test failure).
 #
-# Usage:  scripts/check.sh [--tidy-only | --sanitize-only]
+# Usage:  scripts/check.sh [--lint-only | --headers-only | --tidy-only |
+#                           --sanitize-only]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo_root}"
 
 jobs="$(nproc 2>/dev/null || echo 4)"
+run_lint=1
+run_headers=1
 run_tidy=1
 run_sanitize=1
 case "${1:-}" in
-  --tidy-only) run_sanitize=0 ;;
-  --sanitize-only) run_tidy=0 ;;
+  --lint-only) run_headers=0; run_tidy=0; run_sanitize=0 ;;
+  --headers-only) run_lint=0; run_tidy=0; run_sanitize=0 ;;
+  --tidy-only) run_lint=0; run_headers=0; run_sanitize=0 ;;
+  --sanitize-only) run_lint=0; run_headers=0; run_tidy=0 ;;
   "") ;;
   *)
-    echo "usage: scripts/check.sh [--tidy-only | --sanitize-only]" >&2
+    echo "usage: scripts/check.sh [--lint-only | --headers-only |" \
+         "--tidy-only | --sanitize-only]" >&2
     exit 2
     ;;
 esac
 
-# --- Stage 1: clang-tidy over src/ -----------------------------------
+# --- Stage 1: determinism linter -------------------------------------
+if [[ "${run_lint}" -eq 1 ]]; then
+  echo "== determinism linter =="
+  python3 scripts/lint_determinism.py
+fi
+
+# --- Stage 2: header self-containment --------------------------------
+# Each public header must compile on its own (all includes present, no
+# hidden ordering dependency on its includers).  A header that only
+# builds after "the right" sibling keeps working locally and then breaks
+# the first unrelated file that includes it.
+if [[ "${run_headers}" -eq 1 ]]; then
+  echo "== header self-containment =="
+  cxx="${CXX:-c++}"
+  failed=0
+  while IFS= read -r header; do
+    # Compile a one-line TU that includes the header (rather than the
+    # header itself) so `#pragma once` does not warn about being in a
+    # main file.
+    if ! echo "#include \"${header#src/}\"" | \
+         "${cxx}" -std=c++20 -fsyntax-only -Isrc -x c++ -; then
+      echo "NOT self-contained: ${header}" >&2
+      failed=1
+    fi
+  done < <(find src -name '*.h' | sort)
+  if [[ "${failed}" -ne 0 ]]; then
+    echo "header self-containment: FAIL" >&2
+    exit 1
+  fi
+  echo "header self-containment: clean"
+fi
+
+# --- Stage 3: clang-tidy over src/ -----------------------------------
 if [[ "${run_tidy}" -eq 1 ]]; then
   if command -v clang-tidy > /dev/null 2>&1; then
     echo "== clang-tidy gate =="
@@ -41,7 +82,7 @@ if [[ "${run_tidy}" -eq 1 ]]; then
   fi
 fi
 
-# --- Stage 2: ASan + UBSan test suite --------------------------------
+# --- Stage 4: ASan + UBSan test suite --------------------------------
 if [[ "${run_sanitize}" -eq 1 ]]; then
   echo "== sanitized test suite (address;undefined) =="
   cmake --preset asan-ubsan > /dev/null

@@ -142,6 +142,8 @@ bool is_connected_after_node_removal(const Graph& g,
 bool is_connected_after_edge_removal(const Graph& g,
                                      std::span<const Edge> removed_edges) {
   if (g.num_nodes() <= 1) return true;
+  // Membership-only (insert/contains, never iterated), so the hashed
+  // order cannot reach the result — fine under `unordered-iteration`.
   std::unordered_set<std::uint64_t> gone;
   gone.reserve(removed_edges.size() * 2);
   for (Edge e : removed_edges) gone.insert(edge_key(e.u, e.v));

@@ -8,6 +8,14 @@ namespace lhg::core {
 
 namespace {
 
+// Handler installation is a lock-free atomic publication: `exchange` in
+// set_check_failure_handler happens-before any `load` in check_failed,
+// so a handler installed at process/test start is visible to every
+// thread that later fails a contract.  No mutex, hence no capability
+// annotation (core/thread_annotations.h) — the atomic itself is the
+// whole synchronization story; swapping handlers mid-flight while
+// checks are failing concurrently is a test-harness bug, not a data
+// race (both orders publish a valid handler).
 std::atomic<CheckFailureHandler> g_handler{&aborting_check_failure_handler};
 
 std::string render_failure(const char* file, int line, const char* condition,

@@ -1,10 +1,8 @@
 #include "core/connectivity.h"
 
 #include <algorithm>
-#include <stdexcept>
-#include <unordered_map>
-
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include "core/bfs.h"
@@ -76,6 +74,13 @@ bool is_complete(const Graph& g) {
 /// limit: the limit only truncates values that cannot be the minimum, so
 /// the final min over all pairs is exact — and deterministic — no matter
 /// how probes interleave; the atomic is purely a pruning accelerator.
+///
+/// Lock-free by design, so capability annotations
+/// (core/thread_annotations.h) do not apply: there is no mutex to guard
+/// `best_` with, and none is needed — relaxed ordering suffices because
+/// the value is monotone-decreasing and only ever used as an upper
+/// bound.  The determinism argument above, not a lock, is the safety
+/// contract (DESIGN.md §8, §13).
 class SharedUpperBound {
  public:
   explicit SharedUpperBound(std::int32_t initial) : best_(initial) {}
@@ -200,13 +205,17 @@ std::optional<std::vector<std::vector<NodeId>>> vertex_disjoint_paths(
   // Collect directed edges carrying flow and decompose into paths by
   // walking from s.  Vertex capacities are 1, so each internal vertex
   // appears on at most one path; any flow cycle (possible in principle)
-  // is dropped by the in-walk cycle check.
-  std::unordered_map<NodeId, std::vector<NodeId>> out_flow;
+  // is dropped by the in-walk cycle check.  Node-indexed flat storage:
+  // successor lists fill in arc-index order and pop deterministically,
+  // with no hashed container anywhere near the returned paths
+  // (determinism-linter rule `unordered-iteration` guards the contract).
+  std::vector<std::vector<NodeId>> out_flow(
+      static_cast<std::size_t>(g.num_nodes()));
   for (std::size_t a = 0; a < arc_to_edge.size(); ++a) {
     const auto [from, to] = arc_to_edge[a];
     if (from < 0) continue;  // internal split arc
     if (net.flow_on(static_cast<std::int32_t>(a)) > 0) {
-      out_flow[from].push_back(to);
+      out_flow[static_cast<std::size_t>(from)].push_back(to);
     }
   }
   std::vector<std::vector<NodeId>> paths;
@@ -215,11 +224,11 @@ std::optional<std::vector<std::vector<NodeId>>> vertex_disjoint_paths(
     std::vector<std::int32_t> position(static_cast<std::size_t>(g.num_nodes()), -1);
     position[static_cast<std::size_t>(s)] = 0;
     while (path.back() != t) {
-      auto it = out_flow.find(path.back());
-      LHG_CHECK(it != out_flow.end() && !it->second.empty(),
+      auto& successors = out_flow[static_cast<std::size_t>(path.back())];
+      LHG_CHECK(!successors.empty(),
                 "flow decomposition: dead end at node {}", path.back());
-      const NodeId next = it->second.back();
-      it->second.pop_back();
+      const NodeId next = successors.back();
+      successors.pop_back();
       const auto pos = position[static_cast<std::size_t>(next)];
       if (pos >= 0) {
         // Flow cycle: discard the loop portion.

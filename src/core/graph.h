@@ -199,6 +199,9 @@ class GraphBuilder {
 
   NodeId num_nodes_ = 0;
   std::vector<Edge> edges_;                // canonical, insertion order
+  // Membership-only dedup (contains/insert, never iterated): edge order
+  // is carried by `edges_`, so the hashed layout never reaches a built
+  // Graph — fine under the determinism linter's `unordered-iteration`.
   std::unordered_set<std::uint64_t> seen_;  // packed edge keys for dedup
 };
 

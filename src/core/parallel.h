@@ -34,18 +34,23 @@
 // failed LHG_CHECK under the throwing handler) are captured and
 // rethrown on the calling thread.  When several chunks throw, the one
 // with the lowest chunk index wins — again a deterministic choice.
+//
+// Lock discipline is statically checked: the pool's shared state is
+// LHG_GUARDED_BY its mutex (core/thread_annotations.h), and the
+// dev/asan/tsan presets compile with -Wthread-safety as an error under
+// Clang, so an unguarded access is a build failure, not a TSan race.
 
 #pragma once
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace lhg::core {
 
@@ -85,15 +90,17 @@ class ThreadPool {
   void worker_loop(int lane);
 
   std::vector<std::thread> workers_;
-  std::mutex run_mu_;  // serializes callers of run()
+  // Lock order: run_mu_ (caller serialization) strictly before mu_
+  // (pool state) — capability analysis enforces the declaration.
+  Mutex run_mu_ LHG_ACQUIRED_BEFORE(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* body_ = nullptr;
-  std::uint64_t epoch_ = 0;
-  int unfinished_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  const std::function<void(int)>* body_ LHG_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t epoch_ LHG_GUARDED_BY(mu_) = 0;
+  int unfinished_ LHG_GUARDED_BY(mu_) = 0;
+  bool stop_ LHG_GUARDED_BY(mu_) = false;
 };
 
 /// Replaces the global pool with one of `num_threads` lanes (joining
@@ -142,7 +149,7 @@ void parallel_for_chunks(std::int64_t n, std::int64_t grain, Fn&& fn) {
   }
 
   std::atomic<std::int64_t> next{0};
-  std::mutex err_mu;
+  Mutex err_mu;
   std::int64_t err_chunk = -1;
   std::exception_ptr err;
   pool.run([&](int lane) {
@@ -153,7 +160,7 @@ void parallel_for_chunks(std::int64_t n, std::int64_t grain, Fn&& fn) {
       try {
         fn(c * grain, std::min(n, (c + 1) * grain), lane);
       } catch (...) {
-        const std::lock_guard<std::mutex> hold(err_mu);
+        const MutexLock hold(err_mu);
         if (err_chunk < 0 || c < err_chunk) {
           err_chunk = c;
           err = std::current_exception();

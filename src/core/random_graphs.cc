@@ -41,6 +41,9 @@ Graph random_regular(NodeId num_nodes, std::int32_t k, Rng& rng) {
     rng.shuffle(std::span<NodeId>(stubs));
 
     std::vector<Edge> edges;
+    // Membership-only dedup (insert/contains/erase, never iterated);
+    // every edge and every Rng draw is ordered by the stub walk and the
+    // `edges` vector, so the hashed layout is invisible to results.
     std::unordered_set<std::uint64_t> seen;
     std::vector<std::pair<NodeId, NodeId>> bad;  // self-loops / duplicates
     for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {

@@ -50,7 +50,9 @@ std::vector<std::int32_t> Rng::sample_without_replacement(
     }
     return out;
   }
-  // Sparse case: rejection sampling into a hash set.
+  // Sparse case: rejection sampling into a hash set.  Membership-only
+  // (insert, never iterated): the output order comes from the draw
+  // sequence, so the hashed layout cannot reach a result or an Rng draw.
   std::unordered_set<std::int32_t> seen;
   seen.reserve(static_cast<std::size_t>(count) * 2);
   while (static_cast<std::int32_t>(out.size()) < count) {

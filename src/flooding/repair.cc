@@ -35,6 +35,8 @@ struct RepairSim {
   const core::Graph& g;
   const RepairConfig& cfg;
   Simulator sim;
+  // lint: allow(unseeded-rng): member is re-seeded from config.seed in
+  // the constructor init list before any draw.
   core::Rng rng;
   Network net;
   ReliableLink link;

@@ -89,24 +89,28 @@ std::int32_t Registry::reserve(std::int32_t slots) {
 }
 
 CounterId Registry::counter(std::string name) {
+  const core::MutexLock hold(register_mu_);
   infos_.push_back({std::move(name), MetricKind::kCounter, 0});
   infos_.back().slot = reserve(1);
   return {infos_.back().slot};
 }
 
 GaugeId Registry::gauge(std::string name) {
+  const core::MutexLock hold(register_mu_);
   infos_.push_back({std::move(name), MetricKind::kGauge, 0});
   infos_.back().slot = reserve(1);
   return {infos_.back().slot};
 }
 
 HistogramId Registry::histogram(std::string name) {
+  const core::MutexLock hold(register_mu_);
   infos_.push_back({std::move(name), MetricKind::kHistogram, 0});
   infos_.back().slot = reserve(kHistogramBuckets + 2);
   return {infos_.back().slot};
 }
 
 Snapshot Registry::snapshot() const {
+  const core::MutexLock hold(register_mu_);
   Snapshot snap;
   snap.samples.reserve(infos_.size());
   for (const Info& info : infos_) {

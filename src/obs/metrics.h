@@ -7,6 +7,12 @@
 //   * Registration (setup, allocates): `counter` / `gauge` /
 //     `histogram` append a slot range to every shard slab and return a
 //     typed handle.  Register everything before the hot loop starts.
+//     Registration and `snapshot()` serialize on an annotated mutex
+//     (core/thread_annotations.h), so the schema list is guarded by a
+//     statically checked capability; registering while recorders are
+//     live remains a phase-contract violation (the slabs would move
+//     under the recorders) and is deliberately NOT lock-protected —
+//     the hot path must stay lock-free.
 //
 //   * Recording (hot path, allocation-free): `add` / `observe` are a
 //     bounds-unchecked (DCHECKed) indexed add into a preallocated
@@ -34,6 +40,7 @@
 #include <vector>
 
 #include "core/check.h"
+#include "core/thread_annotations.h"
 
 namespace lhg::obs {
 
@@ -160,9 +167,18 @@ class Registry {
                   [static_cast<std::size_t>(slot)];
   }
 
-  std::int32_t reserve(std::int32_t slots);
+  std::int32_t reserve(std::int32_t slots) LHG_REQUIRES(register_mu_);
 
-  std::vector<Info> infos_;
+  /// Serializes registration against itself and against `snapshot()`.
+  /// `mutable` so the const merge path can take it.
+  mutable core::Mutex register_mu_;
+  std::vector<Info> infos_ LHG_GUARDED_BY(register_mu_);
+  // Recording-phase slabs: written lock-free by per-shard recorders
+  // (one shard per lane), merged by snapshot() under register_mu_.
+  // The registration/recording phase split — never resize a slab while
+  // recorders are live — is the recorders' safety argument and cannot
+  // be expressed as a capability; TSan and the phase discipline police
+  // it (DESIGN.md §13).
   std::vector<std::vector<std::int64_t>> shards_;
 };
 

@@ -1,0 +1,7 @@
+// Fixture: an allow escape WITHOUT a justification string is itself a
+// finding (rule unjustified-allow).  NOT compiled — linter input only.
+#include <cstdlib>
+
+int draw() {
+  return std::rand();  // lint: allow(rand-call)
+}

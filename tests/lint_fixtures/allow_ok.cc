@@ -1,0 +1,8 @@
+// Fixture: a justified allow escape suppresses the finding (zero
+// findings, one recorded escape).  NOT compiled — linter input only.
+#include <cstdlib>
+
+int draw() {
+  // lint: allow(rand-call): fixture demonstrating a justified escape.
+  return std::rand();
+}

@@ -1,0 +1,7 @@
+// Fixture: a chrono clock read must be flagged exactly once (rule
+// clock-now).  NOT compiled — linter input only.
+#include <chrono>
+
+long long nanos() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

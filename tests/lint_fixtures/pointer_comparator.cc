@@ -1,0 +1,6 @@
+// Fixture: ordering by pointer value must be flagged exactly once
+// (rule pointer-comparator).  NOT compiled — linter input only.
+#include <functional>
+#include <set>
+
+using PointerOrderedSet = std::set<int*, std::less<int*>>;

@@ -1,0 +1,5 @@
+// Fixture: C rand() must be flagged exactly once (rule rand-call).
+// The mention of rand() in this comment must NOT be flagged.
+#include <cstdlib>
+
+int draw() { return std::rand(); }

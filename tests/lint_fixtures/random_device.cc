@@ -1,0 +1,8 @@
+// Fixture: std::random_device must be flagged exactly once (rule
+// random-device).  NOT compiled — linter input only.
+#include <random>
+
+unsigned draw_entropy() {
+  std::random_device device;
+  return device();
+}

@@ -1,0 +1,6 @@
+// Fixture: a thread sleep must be flagged exactly once (rule sleep).
+// NOT compiled — linter input only.
+#include <chrono>
+#include <thread>
+
+void nap() { std::this_thread::sleep_for(std::chrono::milliseconds(1)); }

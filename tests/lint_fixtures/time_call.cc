@@ -1,0 +1,9 @@
+// Fixture: C time() must be flagged exactly once (rule time-call).
+// An accessor named time() taking no argument must NOT be flagged.
+#include <ctime>
+
+struct Sim {
+  double time() const { return 0.0; }
+};
+
+long seed_from_clock() { return static_cast<long>(std::time(nullptr)); }

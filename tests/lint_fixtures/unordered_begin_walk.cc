@@ -1,0 +1,7 @@
+// Fixture: an explicit iterator walk over an unordered container must
+// be flagged exactly once (rule unordered-iteration).  NOT compiled.
+#include <unordered_set>
+
+int first_or_zero(const std::unordered_set<int>& values) {
+  return values.empty() ? 0 : *values.begin();
+}

@@ -1,0 +1,9 @@
+// Fixture: iterating an unordered container must be flagged exactly
+// once (rule unordered-iteration).  NOT compiled — linter input only.
+#include <unordered_map>
+
+int sum_values(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) total += value;
+  return total;
+}

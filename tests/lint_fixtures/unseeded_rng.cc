@@ -1,0 +1,9 @@
+// Fixture: default-constructed core::Rng must be flagged exactly once
+// (rule unseeded-rng).  An explicitly seeded Rng must NOT be flagged.
+#include "core/rng.h"
+
+lhg::core::Rng seeded_fine(unsigned long long seed) {
+  return lhg::core::Rng(seed);
+}
+
+lhg::core::Rng hidden_fallback_seed() { return lhg::core::Rng(); }

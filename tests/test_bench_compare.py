@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_compare.py's failure modes.
+
+The perf gate must exit NON-zero on malformed or empty reports — a
+truncated artifact that "compares 0 entries" and passes would defeat
+the gate's whole purpose.  Exit-code contract: 0 ok, 1 perf regression,
+2 malformed input.
+
+Run directly or via ctest (registered in tests/CMakeLists.txt).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPT = os.path.join(REPO_ROOT, "scripts", "bench_compare.py")
+
+
+def write(directory, name, content):
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as f:
+        if isinstance(content, str):
+            f.write(content)
+        else:
+            json.dump(content, f)
+    return path
+
+
+def run_gate(*args):
+    return subprocess.run([sys.executable, SCRIPT, *args],
+                          capture_output=True, text=True)
+
+
+def good_report(wall_ns=2_000_000):
+    return {"bench": "bench_demo",
+            "entries": [{"name": "n=64", "wall_ns": wall_ns}]}
+
+
+def baseline_for(wall_ns=2_000_000):
+    return {"schema": 1, "entries": {"bench_demo/n=64": wall_ns}}
+
+
+class BenchCompareTests(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.dir = self.tmp.name
+        self.addCleanup(self.tmp.cleanup)
+        self.baseline = write(self.dir, "baseline.json", baseline_for())
+
+    def test_ok_on_matching_report(self):
+        report = write(self.dir, "BENCH_demo.json", good_report())
+        proc = run_gate(report, "--baseline", self.baseline)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("bench gate: ok", proc.stdout)
+
+    def test_regression_fails_with_exit_1(self):
+        report = write(self.dir, "BENCH_demo.json", good_report(9_000_000))
+        proc = run_gate(report, "--baseline", self.baseline)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("REGRESSIONS", proc.stdout)
+
+    def test_malformed_json_fails_with_exit_2(self):
+        report = write(self.dir, "BENCH_demo.json", "{ not json !")
+        proc = run_gate(report, "--baseline", self.baseline)
+        self.assertEqual(proc.returncode, 2, proc.stdout)
+        self.assertIn("malformed JSON", proc.stderr)
+
+    def test_empty_file_fails_with_exit_2(self):
+        report = write(self.dir, "BENCH_demo.json", "")
+        proc = run_gate(report, "--baseline", self.baseline)
+        self.assertEqual(proc.returncode, 2, proc.stdout)
+
+    def test_empty_entries_fails_with_exit_2(self):
+        report = write(self.dir, "BENCH_demo.json",
+                       {"bench": "bench_demo", "entries": []})
+        proc = run_gate(report, "--baseline", self.baseline)
+        self.assertEqual(proc.returncode, 2, proc.stdout)
+        self.assertIn("non-empty", proc.stderr)
+
+    def test_missing_wall_ns_fails_with_exit_2(self):
+        report = write(self.dir, "BENCH_demo.json",
+                       {"bench": "bench_demo", "entries": [{"name": "n=64"}]})
+        proc = run_gate(report, "--baseline", self.baseline)
+        self.assertEqual(proc.returncode, 2, proc.stdout)
+        self.assertIn("wall_ns", proc.stderr)
+
+    def test_non_numeric_wall_ns_fails_with_exit_2(self):
+        report = write(self.dir, "BENCH_demo.json",
+                       {"bench": "bench_demo",
+                        "entries": [{"name": "n=64", "wall_ns": "fast"}]})
+        proc = run_gate(report, "--baseline", self.baseline)
+        self.assertEqual(proc.returncode, 2, proc.stdout)
+
+    def test_missing_bench_field_fails_with_exit_2(self):
+        report = write(self.dir, "BENCH_demo.json",
+                       {"entries": [{"name": "n=64", "wall_ns": 1}]})
+        proc = run_gate(report, "--baseline", self.baseline)
+        self.assertEqual(proc.returncode, 2, proc.stdout)
+
+    def test_malformed_baseline_fails_with_exit_2(self):
+        report = write(self.dir, "BENCH_demo.json", good_report())
+        bad_baseline = write(self.dir, "bad_baseline.json", "not json")
+        proc = run_gate(report, "--baseline", bad_baseline)
+        self.assertEqual(proc.returncode, 2, proc.stdout)
+
+    def test_one_bad_report_among_good_ones_still_fails(self):
+        good = write(self.dir, "BENCH_good.json", good_report())
+        bad = write(self.dir, "BENCH_bad.json", "[]")
+        proc = run_gate(good, bad, "--baseline", self.baseline)
+        self.assertEqual(proc.returncode, 2, proc.stdout)
+
+    def test_checked_in_baseline_still_parses(self):
+        # Guard the real baseline file against accidental corruption.
+        path = os.path.join(REPO_ROOT, "bench", "baseline.json")
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        self.assertIsInstance(doc["entries"], dict)
+        self.assertGreater(len(doc["entries"]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -159,6 +159,20 @@ TEST(Connectivity, DisjointPathsOnPetersen) {
   EXPECT_FALSE(vertex_disjoint_paths(g, 0, 7, 4).has_value());
 }
 
+TEST(Connectivity, DisjointPathsDecompositionIsPinned) {
+  // Golden regression for the flow decomposition's node-indexed flat
+  // successor storage (it used to hash on a std::unordered_map): the
+  // exact paths are a pure function of the CSR arc order, so any
+  // future hashed-order leak shows up as a diff here, not as a
+  // cross-platform flake.
+  Graph g = petersen();
+  const auto paths = vertex_disjoint_paths(g, 0, 7, 3);
+  ASSERT_TRUE(paths.has_value());
+  const std::vector<std::vector<NodeId>> expected{
+      {0, 5, 7}, {0, 4, 9, 7}, {0, 1, 2, 7}};
+  EXPECT_EQ(*paths, expected);
+}
+
 TEST(Connectivity, DisjointPathsAdjacentPair) {
   Graph g = complete_graph(5);
   const auto paths = vertex_disjoint_paths(g, 0, 1, 4);
