@@ -1,0 +1,197 @@
+// E23 — million-node scaling sweep and memory-budget source.
+//
+// Claim: the implicit adjacency view (lhg/implicit.h) makes LHG
+// construction O(n/k) memory and ~ns-per-query, so million-node
+// overlays are routine: BFS, sampled diameter and a full flood run
+// against the view without ever materializing an edge, and the
+// memory-lean Graph::from_csr path materializes when a concrete graph
+// is worth its footprint.
+//
+// Per decade of n (10^3 .. 10^6; --small caps at 10^5 for CI, the full
+// run adds an implicit-construction row at 10^7):
+//   implicit_construct  build the ImplicitLhg view
+//   materialize         emit it as a core::Graph via from_csr
+//   equivalence         sampled implicit-vs-materialized adjacency +
+//                       edge-id agreement (hard LHG_CHECK on mismatch)
+//   bfs_implicit        full BFS over the view
+//   bfs_csr             the same BFS over the materialized graph
+//   diameter_implicit   double-sweep sampled diameter over the view
+//   flood_implicit      one full flood (fixed latency, no chaos)
+//
+// Every row carries peak_rss_bytes (bench/report.h); CI gates the
+// --small rows against bench/memory_budget.json via
+// scripts/bench_compare.py --memory-gate — the budget is a hard cap,
+// so an accidental edge materialization (or a from_csr regression back
+// to hash-set dedup) fails the job even when wall time stays green.
+//
+// Expected shape: implicit_construct grows ~linearly in n/k and its
+// RSS stays in the tens of MB at n=10^6 where the materialized graph
+// costs hundreds; bfs_implicit is within a small constant of bfs_csr
+// (neighbor arithmetic vs a cache-friendly CSR load).
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/bfs_generic.h"
+#include "core/diameter_generic.h"
+#include "core/graph.h"
+#include "core/rng.h"
+#include "flooding/flood_generic.h"
+#include "lhg/implicit.h"
+#include "lhg/lhg.h"
+#include "table.h"
+
+namespace {
+
+using lhg::core::NodeId;
+
+/// Sampled implicit-vs-materialized equivalence: full neighbor-list and
+/// edge-id agreement on `samples` random nodes (plus the first and last
+/// node).  Returns the number of adjacency entries checked; any
+/// disagreement aborts the bench via LHG_CHECK — a broken view must
+/// fail the CI job, not publish wrong timings.
+std::int64_t check_equivalence(const lhg::ImplicitLhg& view,
+                               const lhg::core::Graph& g,
+                               std::int32_t samples, std::uint64_t seed) {
+  LHG_CHECK(view.num_nodes() == g.num_nodes(), "equivalence: n {} vs {}",
+            view.num_nodes(), g.num_nodes());
+  LHG_CHECK(view.num_edges() == g.num_edges(), "equivalence: m {} vs {}",
+            view.num_edges(), g.num_edges());
+  lhg::core::Rng rng(seed);
+  std::int64_t checked = 0;
+  for (std::int32_t s = -2; s < samples; ++s) {
+    const NodeId v =
+        s == -2 ? 0
+        : s == -1
+            ? g.num_nodes() - 1
+            : static_cast<NodeId>(rng.next_below(
+                  static_cast<std::uint64_t>(g.num_nodes())));
+    LHG_CHECK(view.degree(v) == g.degree(v), "equivalence: degree({}) {} vs {}",
+              v, view.degree(v), g.degree(v));
+    const auto neighbors = g.neighbors(v);
+    for (std::int32_t i = 0; i < g.degree(v); ++i) {
+      const NodeId expect = neighbors[static_cast<std::size_t>(i)];
+      LHG_CHECK(view.neighbor(v, i) == expect,
+                "equivalence: neighbor({}, {}) {} vs {}", v, i,
+                view.neighbor(v, i), expect);
+      LHG_CHECK(view.incident_edge(v, i) == g.edge_index(v, expect),
+                "equivalence: edge id of ({}, {}) {} vs {}", v, expect,
+                view.incident_edge(v, i), g.edge_index(v, expect));
+      ++checked;
+    }
+  }
+  return checked;
+}
+
+double mb(std::int64_t bytes) {
+  return bytes < 0 ? 0.0 : static_cast<double>(bytes) / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lhg;
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::BenchReport report("bench_scaling");
+
+  constexpr std::int32_t k = 4;
+  const std::int64_t max_n = opts.small ? 100'000 : 1'000'000;
+  const std::int32_t equivalence_samples = opts.small ? 400 : 1000;
+
+  std::cout << "E23: implicit vs materialized LHG at scale (k=" << k
+            << ", peak RSS per row)  [threads=" << core::global_thread_count()
+            << "]\n";
+  bench::Table table({"n", "phase", "ms", "peak_rss_mb", "detail"}, 16);
+  table.print_header();
+
+  auto record = [&](const std::string& phase, std::int64_t n,
+                    std::int64_t wall_ns, const std::string& detail,
+                    std::vector<bench::Param> extra = {}) {
+    table.print_row(n, phase, static_cast<double>(wall_ns) / 1e6,
+                    mb(bench::BenchReport::peak_rss_bytes()), detail);
+    std::vector<bench::Param> params{{"k", k}, {"n", n}};
+    for (auto& p : extra) params.push_back(std::move(p));
+    report.add(phase + "/k=" + std::to_string(k) + "/n=" + std::to_string(n),
+               std::move(params), wall_ns);
+  };
+
+  for (std::int64_t n = 1'000; n <= max_n; n *= 10) {
+    // --- implicit construction: O(n/k) tables, no edges ---
+    const bench::WallTimer build_timer;
+    const ImplicitLhg view(n, k);
+    record("implicit_construct", n, build_timer.elapsed_ns(),
+           "m=" + std::to_string(view.num_edges()),
+           {{"m", view.num_edges()}});
+
+    // --- materialize through the from_csr fast path ---
+    const bench::WallTimer mat_timer;
+    const core::Graph g = view.materialize();
+    record("materialize", n, mat_timer.elapsed_ns(),
+           "m=" + std::to_string(g.num_edges()));
+
+    // --- sampled equivalence: adjacency + edge ids must agree ---
+    const bench::WallTimer eq_timer;
+    const std::int64_t checked =
+        check_equivalence(view, g, equivalence_samples, /*seed=*/23);
+    record("equivalence", n, eq_timer.elapsed_ns(),
+           "checked=" + std::to_string(checked));
+
+    // --- BFS, implicit vs CSR (identical distance vectors) ---
+    const bench::WallTimer bfs_imp_timer;
+    const auto dist_implicit = core::generic_bfs_distances(view, 0);
+    const std::int64_t bfs_imp_ns = bfs_imp_timer.elapsed_ns();
+
+    const bench::WallTimer bfs_csr_timer;
+    const auto dist_csr = core::generic_bfs_distances(g, 0);
+    const std::int64_t bfs_csr_ns = bfs_csr_timer.elapsed_ns();
+    LHG_CHECK(dist_implicit == dist_csr,
+              "bfs over implicit and CSR disagree at n={}", n);
+    std::int32_t ecc = 0;
+    for (const std::int32_t d : dist_csr) ecc = std::max(ecc, d);
+    record("bfs_implicit", n, bfs_imp_ns, "ecc=" + std::to_string(ecc));
+    record("bfs_csr", n, bfs_csr_ns, "ecc=" + std::to_string(ecc));
+
+    // --- sampled diameter over the view ---
+    const bench::WallTimer diam_timer;
+    const auto est = core::diameter_sampled(view, /*samples=*/4, /*seed=*/23);
+    record("diameter_implicit", n, diam_timer.elapsed_ns(),
+           "lb=" + std::to_string(est.lower_bound),
+           {{"diam_lb", est.lower_bound}});
+
+    // --- one full flood over the view (fixed latency, no chaos) ---
+    flooding::FloodConfig cfg;
+    cfg.source = 0;
+    cfg.seed = 23;
+    const bench::WallTimer flood_timer;
+    const auto flood_result = flooding::flood(view, cfg);
+    LHG_CHECK(flood_result.all_alive_delivered(),
+              "flood over implicit view missed nodes at n={}", n);
+    record("flood_implicit", n, flood_timer.elapsed_ns(),
+           "msgs=" + std::to_string(flood_result.messages_sent),
+           {{"messages", flood_result.messages_sent}});
+  }
+
+  if (!opts.small) {
+    // Construction-only decade beyond materialization range: the view
+    // holds a 10^7-node overlay in O(n/k) tables.
+    const std::int64_t n = 10'000'000;
+    const bench::WallTimer build_timer;
+    const ImplicitLhg view(n, k);
+    const std::int64_t build_ns = build_timer.elapsed_ns();
+    // Touch the far corners so the row reflects a usable view, not a
+    // lazily-faulted one.
+    const NodeId last = view.num_nodes() - 1;
+    LHG_CHECK(view.degree(last) == k && view.neighbor(0, 0) > 0,
+              "implicit view smoke check failed at n={}", n);
+    record("implicit_construct", n, build_ns,
+           "m=" + std::to_string(view.num_edges()),
+           {{"m", view.num_edges()}});
+  }
+
+  std::cout << "\nshape check: implicit_construct RSS stays O(n/k) while "
+               "materialize adds the full CSR + twin-arc footprint;\n"
+               "bfs_implicit tracks bfs_csr within a small constant.\n";
+  return opts.finish(report);
+}

@@ -80,10 +80,14 @@ class BenchReport {
         threads_(core::global_thread_count()) {}
 
   /// Records one measurement.  `name` identifies the entry in
-  /// baseline comparisons; keep it parameter-derived and stable.
+  /// baseline comparisons; keep it parameter-derived and stable.  The
+  /// process peak RSS at record time is attached automatically (as
+  /// "peak_rss_bytes", omitted where the platform cannot report it) so
+  /// every report feeds the memory-budget gate for free.
   void add(std::string name, std::vector<Param> params,
            std::int64_t wall_ns) {
-    entries_.push_back({std::move(name), std::move(params), wall_ns, {}});
+    entries_.push_back(
+        {std::move(name), std::move(params), wall_ns, peak_rss_bytes(), {}});
   }
 
   /// Records one measurement with an attached metrics document — the
@@ -93,21 +97,34 @@ class BenchReport {
   /// metrics ride along without affecting baseline comparisons.
   void add(std::string name, std::vector<Param> params, std::int64_t wall_ns,
            std::string metrics_json) {
-    entries_.push_back(
-        {std::move(name), std::move(params), wall_ns, std::move(metrics_json)});
+    entries_.push_back({std::move(name), std::move(params), wall_ns,
+                        peak_rss_bytes(), std::move(metrics_json)});
   }
 
   /// Commit identifier for the report: $LHG_GIT_SHA, else $GITHUB_SHA,
   /// else the configure-time LHG_GIT_SHA_DEFAULT, else "unknown".
+  /// Empty values are skipped at every level: shallow or detached CI
+  /// checkouts configure an empty LHG_GIT_SHA_DEFAULT, and an exported
+  /// but empty env var must not mask the next fallback either.
   static std::string git_sha() {
-    if (const char* env = std::getenv("LHG_GIT_SHA")) return env;
-    if (const char* env = std::getenv("GITHUB_SHA")) return env;
+    if (const char* env = std::getenv("LHG_GIT_SHA"); env && *env) return env;
+    if (const char* env = std::getenv("GITHUB_SHA"); env && *env) return env;
 #ifdef LHG_GIT_SHA_DEFAULT
-    return LHG_GIT_SHA_DEFAULT;
-#else
-    return "unknown";
+    if (LHG_GIT_SHA_DEFAULT[0] != '\0') return LHG_GIT_SHA_DEFAULT;
 #endif
+    return "unknown";
   }
+
+  /// Peak resident set size of this process in bytes (VmHWM from
+  /// /proc/self/status), or -1 where unavailable (non-Linux).  This is
+  /// the high-water mark since process start — per-entry values in a
+  /// multi-row bench are therefore monotone non-decreasing, and the
+  /// budget gate reads each row as "peak RSS by the time this row
+  /// finished".
+  static std::int64_t peak_rss_bytes() { return read_status_kib("VmHWM:"); }
+
+  /// Current resident set size in bytes (VmRSS), or -1.
+  static std::int64_t current_rss_bytes() { return read_status_kib("VmRSS:"); }
 
   std::string to_json() const {
     std::ostringstream out;
@@ -132,6 +149,9 @@ class BenchReport {
       }
       out << (e.params.empty() ? "}" : " }");
       out << ", \"wall_ns\": " << e.wall_ns;
+      if (e.peak_rss_bytes >= 0) {
+        out << ", \"peak_rss_bytes\": " << e.peak_rss_bytes;
+      }
       if (!e.metrics_json.empty()) {
         out << ", \"metrics\": " << e.metrics_json;
       }
@@ -161,8 +181,28 @@ class BenchReport {
     std::string name;
     std::vector<Param> params;
     std::int64_t wall_ns = 0;
+    std::int64_t peak_rss_bytes = -1;  // -1: platform cannot report RSS
     std::string metrics_json;  // empty: entry has no metrics document
   };
+
+  /// Reads a kB-denominated field from /proc/self/status; -1 if the
+  /// file or field is unavailable.
+  static std::int64_t read_status_kib(const char* field) {
+    std::ifstream status("/proc/self/status");
+    if (!status) return -1;
+    std::string line;
+    const std::string key(field);
+    while (std::getline(status, line)) {
+      if (line.compare(0, key.size(), key) != 0) continue;
+      // "VmHWM:    123456 kB"
+      std::istringstream rest(line.substr(key.size()));
+      std::int64_t kib = -1;
+      rest >> kib;
+      if (kib < 0) return -1;
+      return kib * 1024;
+    }
+    return -1;
+  }
 
   static std::string quoted(const std::string& s) {
     std::string out = "\"";

@@ -10,6 +10,7 @@ and entries with no baseline are reported but never fail.
 Usage:
     scripts/bench_compare.py [options] BENCH_*.json
     scripts/bench_compare.py --update BENCH_*.json   # rewrite baseline
+    scripts/bench_compare.py --memory-gate bench/memory_budget.json BENCH_*.json
 
 Baseline format (flat, diff-friendly):
     {
@@ -17,6 +18,24 @@ Baseline format (flat, diff-friendly):
       "note": "...",
       "entries": { "<bench>/<entry name>": wall_ns, ... }
     }
+
+Memory gate: ``--memory-gate BUDGET_JSON`` additionally checks each
+entry's ``peak_rss_bytes`` (attached by bench/report.h on Linux)
+against a hard per-entry budget:
+    {
+      "schema": 1,
+      "note": "...",
+      "budgets": { "<bench>/<entry name>": max_peak_rss_bytes, ... }
+    }
+Unlike the wall-time gate, memory budgets are *hard*: RSS is stable
+across runner classes, so an over-budget entry exits 2 (the malformed /
+unconditional-failure exit), not 1.  A budgeted entry whose report
+carries no peak_rss_bytes is tolerated with a warning (non-Linux
+runners cannot measure it).
+
+``--merge-out PATH`` writes the merged view of all input reports (best
+wall time and worst peak RSS per entry) as one JSON document — the
+bench-trend artifact CI uploads for cross-run history.
 
 Wall clocks vary across machines, so the baseline is calibrated for the
 CI runner class; regenerate it (--update on a CI artifact set) whenever
@@ -71,6 +90,12 @@ def load_report(path):
             raise ReportError(
                 f"{path}: entries[{i}] ('{entry['name']}') has bad "
                 f"wall_ns: {wall_ns!r}")
+        rss = entry.get("peak_rss_bytes")
+        if rss is not None and (not isinstance(rss, (int, float))
+                                or isinstance(rss, bool) or rss < 0):
+            raise ReportError(
+                f"{path}: entries[{i}] ('{entry['name']}') has bad "
+                f"peak_rss_bytes: {rss!r}")
     return doc
 
 
@@ -91,6 +116,98 @@ def flatten(reports):
     return flat
 
 
+def flatten_memory(reports):
+    """{'<bench>/<entry name>': peak_rss_bytes} over all reports.
+
+    A key seen several times keeps its *maximum*: unlike wall time,
+    memory is gated on the worst observed run (RSS has no
+    scheduler-jitter spikes to filter, and a budget must hold always).
+    Entries without peak_rss_bytes are absent from the result.
+    """
+    flat = {}
+    for doc in reports:
+        for entry in doc["entries"]:
+            rss = entry.get("peak_rss_bytes")
+            if rss is None:
+                continue
+            key = f"{doc['bench']}/{entry['name']}"
+            rss = int(rss)
+            flat[key] = max(flat[key], rss) if key in flat else rss
+    return flat
+
+
+def check_memory_gate(budget_path, current_mem, current_wall):
+    """Returns a list of over-budget report lines (empty = pass).
+
+    Budgeted entries that were not measured, or were measured without an
+    RSS value, are warned about but never fail: the former is a stale
+    budget, the latter a platform without /proc (bench/report.h omits
+    the field there).
+    """
+    try:
+        with open(budget_path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as err:
+        raise ReportError(f"{budget_path}: cannot read memory budget: {err}")
+    except json.JSONDecodeError as err:
+        raise ReportError(f"{budget_path}: malformed budget JSON: {err}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("budgets"), dict):
+        raise ReportError(f"{budget_path}: budget must be an object with a "
+                          "'budgets' mapping")
+    budgets = doc["budgets"]
+    for key, limit in budgets.items():
+        if not isinstance(limit, (int, float)) or isinstance(limit, bool) \
+                or limit <= 0:
+            raise ReportError(f"{budget_path}: bad budget for '{key}': "
+                              f"{limit!r}")
+
+    violations, unmeasured, unreported = [], [], []
+    for key, limit in sorted(budgets.items()):
+        if key not in current_wall:
+            unmeasured.append(key)
+            continue
+        rss = current_mem.get(key)
+        if rss is None:
+            unreported.append(key)
+            continue
+        if rss > limit:
+            violations.append(
+                f"{key}: peak RSS {rss / 1e6:.1f}MB exceeds budget "
+                f"{limit / 1e6:.1f}MB ({rss / limit:.2f}x)")
+
+    print(f"\nmemory gate: {len(budgets)} budgeted entries "
+          f"({budget_path})")
+    if unmeasured:
+        print(f"WARNING: {len(unmeasured)} budgeted entries were not "
+              "measured this run (stale budget?):", file=sys.stderr)
+        for key in unmeasured:
+            print(f"  {key}", file=sys.stderr)
+    if unreported:
+        print(f"WARNING: {len(unreported)} budgeted entries carry no "
+              "peak_rss_bytes (platform cannot measure RSS); NOT gated:",
+              file=sys.stderr)
+        for key in unreported:
+            print(f"  {key}", file=sys.stderr)
+    return violations
+
+
+def write_merged(path, reports, current_wall, current_mem):
+    """Writes the merged bench-trend document consumed by CI history."""
+    git_sha = next((doc.get("git_sha") for doc in reports
+                    if doc.get("git_sha")), "unknown")
+    entries = {}
+    for key in sorted(current_wall):
+        entry = {"wall_ns": current_wall[key]}
+        if key in current_mem:
+            entry["peak_rss_bytes"] = current_mem[key]
+        entries[key] = entry
+    doc = {"schema": 1, "git_sha": git_sha, "entries": entries}
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"merged {len(entries)} entries -> {path}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("reports", nargs="+", metavar="BENCH_JSON",
@@ -108,12 +225,23 @@ def main():
     parser.add_argument("--fail-on-missing", action="store_true",
                         help="fail the gate when a measured entry has no "
                              "baseline (default: warn only)")
+    parser.add_argument("--memory-gate", metavar="BUDGET_JSON",
+                        help="hard peak-RSS budget file; an over-budget "
+                             "entry exits 2")
+    parser.add_argument("--merge-out", metavar="PATH",
+                        help="write the merged bench-trend JSON (best wall "
+                             "time, worst peak RSS per entry)")
     args = parser.parse_args()
 
-    current = flatten(load_report(p) for p in args.reports)
+    reports = [load_report(p) for p in args.reports]
+    current = flatten(reports)
     if not current:
         raise ReportError("no bench entries found across "
                           f"{len(args.reports)} report file(s)")
+    current_mem = flatten_memory(reports)
+
+    if args.merge_out:
+        write_merged(args.merge_out, reports, current, current_mem)
 
     if args.update:
         doc = {
@@ -178,10 +306,24 @@ def main():
         print(f"\nskipped (baseline under min-ns): {len(skipped_fast)}")
     if stale:
         print(f"\nbaseline entries not measured this run: {len(stale)}")
+    memory_violations = []
+    if args.memory_gate:
+        memory_violations = check_memory_gate(args.memory_gate, current_mem,
+                                              current)
+
     if regressions:
         print(f"\nREGRESSIONS ({len(regressions)}):")
         for line in regressions:
             print(f"  {line}")
+    if memory_violations:
+        print(f"\nMEMORY BUDGET VIOLATIONS ({len(memory_violations)}):")
+        for line in memory_violations:
+            print(f"  {line}")
+        # Hard failure: memory budgets hold on every runner class, so a
+        # violation is never jitter — use the unconditional exit.
+        print("\nbench gate: FAIL (memory budget)")
+        return 2
+    if regressions:
         print("\nbench gate: FAIL")
         return 1
     if missing and args.fail_on_missing:

@@ -2,42 +2,19 @@
 
 #include <algorithm>
 
+#include "core/bfs_generic.h"
 #include "core/check.h"
 
 namespace lhg::core {
 
 std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId source) {
-  BfsScratch scratch;
-  bfs_distances_into(g, source, scratch);
-  return std::move(scratch.dist);
+  return generic_bfs_distances(g, source);
 }
 
 const std::vector<std::int32_t>& bfs_distances_into(const Graph& g,
                                                     NodeId source,
                                                     BfsScratch& scratch) {
-  LHG_CHECK_RANGE(source, g.num_nodes());
-  auto& dist = scratch.dist;
-  dist.assign(static_cast<std::size_t>(g.num_nodes()), kUnreachable);
-  auto& frontier = scratch.frontier;
-  auto& next = scratch.next;
-  frontier.assign(1, source);
-  dist[static_cast<std::size_t>(source)] = 0;
-  std::int32_t level = 0;
-  while (!frontier.empty()) {
-    ++level;
-    next.clear();
-    for (NodeId u : frontier) {
-      for (NodeId v : g.neighbors(u)) {
-        auto& d = dist[static_cast<std::size_t>(v)];
-        if (d == kUnreachable) {
-          d = level;
-          next.push_back(v);
-        }
-      }
-    }
-    frontier.swap(next);
-  }
-  return dist;
+  return generic_bfs_distances_into(g, source, scratch);
 }
 
 std::vector<std::int32_t> bfs_distances_masked(const Graph& g, NodeId source,

@@ -150,6 +150,11 @@ double average_path_length(const Graph& g) {
   return static_cast<double>(static_cast<long double>(total) / pairs);
 }
 
+DiameterEstimate diameter_sampled(const Graph& g, std::int32_t samples,
+                                  std::uint64_t seed) {
+  return diameter_sampled<Graph>(g, samples, seed);
+}
+
 std::int32_t radius(const Graph& g) {
   require_connected(g);
   const std::int32_t best = parallel_reduce<std::int32_t>(

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "core/diameter_generic.h"
 #include "core/graph.h"
 
 namespace lhg::core {
@@ -21,6 +22,12 @@ namespace lhg::core {
 /// Exact diameter via iFUB.  Throws std::invalid_argument if the graph
 /// is disconnected (diameter undefined) or empty.
 std::int32_t diameter(const Graph& g);
+
+/// Non-template form of the double-sweep sampled lower bound
+/// (core/diameter_generic.h) for materialized graphs; the scaling
+/// sweep uses the template directly over implicit views.
+DiameterEstimate diameter_sampled(const Graph& g, std::int32_t samples,
+                                  std::uint64_t seed);
 
 /// Exact diameter via all-pairs BFS.  O(n·m); test oracle for
 /// `diameter()`.  Same preconditions.

@@ -71,6 +71,72 @@ Graph Graph::from_edges(NodeId num_nodes, std::span<const Edge> edges) {
   return g;
 }
 
+Graph Graph::from_csr(NodeId num_nodes, std::vector<std::int32_t> offsets,
+                      std::vector<NodeId> adjacency) {
+  LHG_CHECK(num_nodes >= 0, "negative node count {}", num_nodes);
+  LHG_CHECK(offsets.size() == static_cast<std::size_t>(num_nodes) + 1,
+            "from_csr: offsets has {} entries for n={}", offsets.size(),
+            num_nodes);
+  LHG_CHECK(offsets.front() == 0 &&
+                static_cast<std::size_t>(offsets.back()) == adjacency.size(),
+            "from_csr: offsets span [{}, {}] but adjacency has {} arcs",
+            offsets.front(), offsets.back(), adjacency.size());
+  LHG_CHECK(adjacency.size() % 2 == 0,
+            "from_csr: odd arc count {} cannot be symmetric",
+            adjacency.size());
+
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+
+  // Slice validation: strictly ascending targets, in range, no loops.
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    NodeId prev = -1;
+    for (const NodeId v : g.neighbors(u)) {
+      LHG_CHECK(v >= 0 && v < num_nodes, "from_csr: target {} of node {} out "
+                "of range for n={}", v, u, num_nodes);
+      LHG_CHECK(v != u, "from_csr: self-loop at node {}", u);
+      LHG_CHECK(v > prev, "from_csr: slice of node {} not strictly ascending "
+                "({} after {})", u, v, prev);
+      prev = v;
+    }
+  }
+
+  // One flat pass in ascending u builds the canonical edge list and the
+  // twin/edge-id companions, verifying symmetry as it goes: within v's
+  // slice, the backward arcs (targets < v) occupy the prefix in
+  // ascending target order, so they are consumed by a per-node cursor
+  // exactly as the outer loop ascends.
+  const std::size_t num_arcs = g.adjacency_.size();
+  g.edges_.reserve(num_arcs / 2);
+  g.twin_.resize(num_arcs);
+  g.arc_edge_.resize(num_arcs);
+  std::vector<std::int32_t> back_cursor(g.offsets_.begin(),
+                                        g.offsets_.end() - 1);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (std::int32_t arc = g.offsets_[as_index(u)];
+         arc < g.offsets_[as_index(u) + 1]; ++arc) {
+      const NodeId v = g.adjacency_[static_cast<std::size_t>(arc)];
+      if (v < u) continue;  // handled when the loop visited v's partner
+      auto& rev = back_cursor[static_cast<std::size_t>(v)];
+      LHG_CHECK(rev < g.offsets_[as_index(v) + 1] &&
+                    g.adjacency_[static_cast<std::size_t>(rev)] == u,
+                "from_csr: asymmetric adjacency at ({}, {})", u, v);
+      const auto edge = static_cast<std::int32_t>(g.edges_.size());
+      g.edges_.push_back({u, v});
+      g.twin_[static_cast<std::size_t>(arc)] = rev;
+      g.twin_[static_cast<std::size_t>(rev)] = arc;
+      g.arc_edge_[static_cast<std::size_t>(arc)] = edge;
+      g.arc_edge_[static_cast<std::size_t>(rev)] = edge;
+      ++rev;
+    }
+  }
+  LHG_CHECK(g.edges_.size() * 2 == num_arcs,
+            "from_csr: {} arcs pair into {} edges (asymmetric input)",
+            num_arcs, g.edges_.size());
+  return g;
+}
+
 std::int32_t Graph::arc_index(NodeId u, NodeId v) const {
   if (u < 0 || v < 0 || u >= num_nodes() || v >= num_nodes() || u == v) {
     return -1;

@@ -57,6 +57,17 @@ class Graph {
   /// (fatal by default; throwing under a test failure handler).
   static Graph from_edges(NodeId num_nodes, std::span<const Edge> edges);
 
+  /// Memory-lean build path: adopts already-finished CSR arrays —
+  /// `offsets` of size n+1 and `adjacency` of size 2m with every
+  /// node's slice strictly ascending.  Unlike `from_edges` there is no
+  /// edge-list copy, no sort and no hash-set dedup; the canonical edge
+  /// list and the twin/edge-id arc companions are derived in two flat
+  /// O(m) passes, during which symmetry (v in adj[u] <=> u in adj[v])
+  /// is verified.  Malformed input fails an LHG_CHECK contract.
+  /// This is how implicit views materialize at n = 10^6 and beyond.
+  static Graph from_csr(NodeId num_nodes, std::vector<std::int32_t> offsets,
+                        std::vector<NodeId> adjacency);
+
   /// Number of nodes n.
   NodeId num_nodes() const { return static_cast<NodeId>(offsets_.size()) - 1; }
 
@@ -69,6 +80,14 @@ class Graph {
     const auto lo = static_cast<std::size_t>(offsets_[as_index(u)]);
     const auto hi = static_cast<std::size_t>(offsets_[as_index(u) + 1]);
     return {adjacency_.data() + lo, hi - lo};
+  }
+
+  /// The i-th neighbor of `u` (ascending id order) — the random-access
+  /// form of `neighbors(u)` required by the GraphLike concept
+  /// (core/graph_concept.h), so templated kernels can walk any view.
+  NodeId neighbor(NodeId u, std::int32_t i) const {
+    LHG_DCHECK_RANGE(i, degree(u));
+    return adjacency_[static_cast<std::size_t>(offsets_[as_index(u)] + i)];
   }
 
   /// Degree of `u`.
@@ -130,6 +149,13 @@ class Graph {
   std::int32_t edge_of_arc(std::int32_t arc) const {
     LHG_DCHECK_RANGE(arc, num_arcs());
     return arc_edge_[static_cast<std::size_t>(arc)];
+  }
+
+  /// Edge id of {u, neighbor(u, i)} — O(1); the EdgeIndexedGraph form
+  /// of the arc-slice walk protocol hot loops rely on.
+  std::int32_t incident_edge(NodeId u, std::int32_t i) const {
+    LHG_DCHECK_RANGE(i, degree(u));
+    return arc_edge_[static_cast<std::size_t>(offsets_[as_index(u)] + i)];
   }
 
   std::int32_t min_degree() const;

@@ -1,0 +1,54 @@
+// Graph-concept interface: the structural duck type every traversal
+// kernel in this library is written against.
+//
+// `core::Graph` materializes adjacency in CSR arrays; `lhg::ImplicitLhg`
+// answers the same queries by index arithmetic from the tree plan
+// without storing a single edge.  Algorithms that only *walk* a graph
+// (BFS, sampled diameter, flooding) should not care which one they got,
+// so they are templates constrained on the concepts below instead of
+// taking `const Graph&`.
+//
+// Two tiers:
+//   * `GraphLike` — node/degree/neighbor queries; enough for BFS and
+//     diameter estimation.  `neighbor(v, i)` must enumerate v's
+//     neighbors in strictly ascending id order (the same invariant
+//     Graph::neighbors() keeps), so equivalence between two views can
+//     be checked slot by slot.
+//   * `EdgeIndexedGraph` — additionally exposes the dense undirected
+//     edge-id space [0, num_edges()) that the flooding Network uses to
+//     index per-link state (latencies, failure flags, channel state) as
+//     flat arrays.  `incident_edge(v, i)` is the edge id of
+//     {v, neighbor(v, i)}; for CSR graphs it is an O(1) arc-slice load,
+//     for implicit views it is computed on demand.
+
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "core/graph.h"
+
+namespace lhg::core {
+
+template <typename G>
+concept GraphLike = requires(const G& g, NodeId v, std::int32_t i) {
+  { g.num_nodes() } -> std::convertible_to<NodeId>;
+  { g.num_edges() } -> std::convertible_to<std::int64_t>;
+  { g.degree(v) } -> std::convertible_to<std::int32_t>;
+  { g.neighbor(v, i) } -> std::convertible_to<NodeId>;
+};
+
+template <typename G>
+concept EdgeIndexedGraph =
+    GraphLike<G> && requires(const G& g, NodeId u, NodeId v, std::int32_t i) {
+      // Dense undirected edge id of {u, v} in [0, num_edges()), or -1
+      // when the edge is absent.
+      { g.edge_index(u, v) } -> std::convertible_to<std::int32_t>;
+      // Edge id of {v, neighbor(v, i)} — the per-neighbor form protocol
+      // hot loops use so each send skips the adjacency search.
+      { g.incident_edge(v, i) } -> std::convertible_to<std::int32_t>;
+    };
+
+static_assert(GraphLike<Graph>);
+
+}  // namespace lhg::core

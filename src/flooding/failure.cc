@@ -191,47 +191,4 @@ FailurePlan adversarial_chaos(const core::Graph& g, std::int32_t count,
   return plan;
 }
 
-void apply_failure_plan(Network& net, const FailurePlan& plan) {
-  for (const NodeCrash& crash : plan.crashes) {
-    if (crash.time <= 0.0) {
-      net.crash_now(crash.node);
-    } else {
-      net.crash_at(crash.node, crash.time);
-    }
-  }
-  for (const NodeRecovery& recovery : plan.recoveries) {
-    if (recovery.time <= 0.0) {
-      net.recover_now(recovery.node);
-    } else {
-      net.recover_at(recovery.node, recovery.time);
-    }
-  }
-  for (const LinkFailure& failure : plan.link_failures) {
-    if (failure.time <= 0.0) {
-      net.fail_link_now(failure.link.u, failure.link.v);
-    } else {
-      net.fail_link_at(failure.link.u, failure.link.v, failure.time);
-    }
-  }
-  for (const LinkFlap& flap : plan.flaps) {
-    LHG_CHECK(flap.down < flap.up, "flap: empty window [{}, {})", flap.down,
-              flap.up);
-    if (flap.down <= 0.0) {
-      net.fail_link_now(flap.link.u, flap.link.v);
-    } else {
-      net.fail_link_at(flap.link.u, flap.link.v, flap.down);
-    }
-    net.restore_link_at(flap.link.u, flap.link.v, flap.up);
-  }
-  for (const PartitionWindow& window : plan.partitions) {
-    if (window.start <= 0.0) {
-      net.set_partition(window.side);
-      net.simulator().schedule_at(window.end,
-                                  [&net] { net.clear_partition(); });
-    } else {
-      net.partition_during(window.side, window.start, window.end);
-    }
-  }
-}
-
 }  // namespace lhg::flooding

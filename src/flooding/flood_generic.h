@@ -1,0 +1,116 @@
+// Deterministic flooding over any EdgeIndexedGraph topology.
+//
+// The flood protocol only needs degree / neighbor enumeration and dense
+// edge ids from the overlay, so it is written once against the
+// core::EdgeIndexedGraph concept and instantiated for both the
+// materialized `core::Graph` (the concrete `flood` in protocols.h
+// delegates here) and the storage-free `lhg::ImplicitLhg` view — the
+// path that floods million-node overlays without ever materializing an
+// edge.  Edge ids agree between the two forms (lhg/implicit.h), so the
+// per-link state inside BasicNetwork is identical either way and the
+// results are bit-for-bit equal (pinned by tests/test_implicit.cc).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph_concept.h"
+#include "flooding/protocols.h"
+
+namespace lhg::flooding {
+
+namespace detail {
+
+/// Fills the aggregate DisseminationResult fields from per-node state.
+inline void finalize_dissemination(DisseminationResult& result,
+                                   const std::vector<bool>& alive) {
+  result.alive_nodes = 0;
+  result.delivered_alive = 0;
+  result.completion_time = 0.0;
+  result.completion_hops = 0;
+  for (std::size_t u = 0; u < alive.size(); ++u) {
+    if (!alive[u]) continue;
+    ++result.alive_nodes;
+    if (result.delivery_time[u] >= 0.0) {
+      ++result.delivered_alive;
+      result.completion_time =
+          std::max(result.completion_time, result.delivery_time[u]);
+      result.completion_hops =
+          std::max(result.completion_hops, result.delivery_hops[u]);
+    }
+  }
+}
+
+template <typename Topology>
+std::vector<bool> alive_mask(const BasicNetwork<Topology>& net) {
+  std::vector<bool> alive(
+      static_cast<std::size_t>(net.topology().num_nodes()));
+  for (core::NodeId u = 0; u < net.topology().num_nodes(); ++u) {
+    alive[static_cast<std::size_t>(u)] = net.is_alive(u);
+  }
+  return alive;
+}
+
+}  // namespace detail
+
+/// Deterministic flooding over a generic overlay: the source sends to
+/// all neighbors; every node forwards the first copy it receives to all
+/// neighbors except the one it came from.  Identical semantics (and,
+/// for equal edge ids, identical results) to the concrete
+/// `flood(const core::Graph&, ...)` overload.
+template <core::EdgeIndexedGraph Topology>
+DisseminationResult flood(const Topology& topology, const FloodConfig& cfg,
+                          const FailurePlan& failures = {}) {
+  using core::NodeId;
+  LHG_CHECK_RANGE(cfg.source, topology.num_nodes());
+  Simulator sim;
+  core::Rng rng(cfg.seed);
+  BasicNetwork<Topology> net(topology, sim, cfg.latency, rng, cfg.chaos);
+  obs::Runtime obs_rt(cfg.obs);
+  sim.set_obs(obs_rt.obs());
+  net.set_obs(obs_rt.obs());
+  apply_failure_plan(net, failures);
+
+  DisseminationResult result;
+  const auto n = static_cast<std::size_t>(topology.num_nodes());
+  result.delivery_time.assign(n, -1.0);
+  result.delivery_hops.assign(n, -1);
+
+  auto forward = [&](NodeId self, NodeId except, std::int32_t hops) {
+    // Each send hands the network its dense edge id directly — no
+    // per-neighbor adjacency search on the hot path.
+    const std::int32_t deg = topology.degree(self);
+    for (std::int32_t i = 0; i < deg; ++i) {
+      const NodeId v = topology.neighbor(self, i);
+      if (v != except) {
+        net.send_link(self, v, topology.incident_edge(self, i), hops);
+      }
+    }
+  };
+  net.set_receive_handler([&](NodeId self, NodeId from, std::int64_t hops) {
+    auto& t = result.delivery_time[static_cast<std::size_t>(self)];
+    if (t >= 0.0) return;  // duplicate copy: absorb
+    t = sim.now();
+    result.delivery_hops[static_cast<std::size_t>(self)] =
+        static_cast<std::int32_t>(hops) + 1;
+    forward(self, from, static_cast<std::int32_t>(hops) + 1);
+  });
+
+  if (net.is_alive(cfg.source)) {
+    result.delivery_time[static_cast<std::size_t>(cfg.source)] = 0.0;
+    result.delivery_hops[static_cast<std::size_t>(cfg.source)] = 0;
+    sim.schedule_at(0.0, [&] { forward(cfg.source, -1, 0); });
+  }
+  sim.run();
+
+  result.messages_sent = net.messages_sent();
+  result.events_processed = sim.events_processed();
+  result.net = net.stats();
+  result.metrics = obs_rt.metrics_snapshot();
+  result.trace = obs_rt.trace_log();
+  detail::finalize_dissemination(result, detail::alive_mask(net));
+  return result;
+}
+
+}  // namespace lhg::flooding

@@ -1,268 +1,9 @@
 #include "flooding/network.h"
 
-#include <utility>
-
-#include "core/check.h"
-
 namespace lhg::flooding {
 
-using core::NodeId;
-
-namespace {
-
-void check_probability(double p, const char* what) {
-  LHG_CHECK(p >= 0.0 && p < 1.0, "Network: {} probability {} must be in [0, 1)",
-            what, p);
-}
-
-}  // namespace
-
-Network::Network(const core::Graph& topology, Simulator& sim,
-                 LatencySpec latency, core::Rng& rng, const ChaosSpec& chaos)
-    : topology_(&topology),
-      sim_(&sim),
-      latency_(latency),
-      rng_(&rng),
-      chaos_(chaos),
-      crashed_(static_cast<std::size_t>(topology.num_nodes()), 0),
-      alive_count_(topology.num_nodes()),
-      link_failed_(static_cast<std::size_t>(topology.num_edges()), 0) {
-  LHG_CHECK(latency.base >= 0 && latency.jitter >= 0,
-            "Network: negative latency (base={}, jitter={})", latency.base,
-            latency.jitter);
-  check_probability(chaos.loss, "loss");
-  check_probability(chaos.duplicate, "duplicate");
-  check_probability(chaos.reorder, "reorder");
-  LHG_CHECK(chaos.reorder_jitter >= 0.0,
-            "Network: negative reorder jitter {}", chaos.reorder_jitter);
-  if (chaos.gilbert_elliott) {
-    check_probability(chaos.ge_good_to_bad, "GE good->bad");
-    check_probability(chaos.ge_bad_to_good, "GE bad->good");
-    check_probability(chaos.ge_loss_good, "GE good-state loss");
-    check_probability(chaos.ge_loss_bad, "GE bad-state loss");
-    // Every link starts in the good state.
-    link_bad_.assign(static_cast<std::size_t>(topology.num_edges()), 0);
-  }
-  if (latency.kind == LatencySpec::Kind::kUniformPerLink) {
-    // Draw every link's latency up front, in canonical edge order (the
-    // pinned consumption order of the determinism contract); send()
-    // then reduces to a flat load.
-    link_latency_.resize(static_cast<std::size_t>(topology.num_edges()));
-    for (double& l : link_latency_) {
-      l = latency.base + latency.jitter * rng.next_double();
-    }
-  }
-}
-
-void Network::crash_now(NodeId node) {
-  LHG_CHECK_RANGE(node, topology_->num_nodes());
-  if (crashed_[static_cast<std::size_t>(node)] == 0) {
-    crashed_[static_cast<std::size_t>(node)] = 1;
-    --alive_count_;
-    if (obs_ != nullptr) {
-      obs_->event(sim_->now(), obs::TraceKind::kCrash, node);
-    }
-  }
-}
-
-void Network::crash_at(NodeId node, double at) {
-  sim_->schedule_at(at, [this, node] { crash_now(node); });
-}
-
-void Network::recover_now(NodeId node) {
-  LHG_CHECK_RANGE(node, topology_->num_nodes());
-  if (crashed_[static_cast<std::size_t>(node)] != 0) {
-    crashed_[static_cast<std::size_t>(node)] = 0;
-    ++alive_count_;
-    if (obs_ != nullptr) {
-      obs_->event(sim_->now(), obs::TraceKind::kRecover, node);
-    }
-  }
-}
-
-void Network::recover_at(NodeId node, double at) {
-  sim_->schedule_at(at, [this, node] { recover_now(node); });
-}
-
-void Network::fail_link_now(NodeId u, NodeId v) {
-  const std::int32_t link = topology_->edge_index(u, v);
-  LHG_CHECK(link >= 0, "fail_link: ({}, {}) not a link", u, v);
-  link_failed_[static_cast<std::size_t>(link)] = 1;
-}
-
-void Network::fail_link_at(NodeId u, NodeId v, double at) {
-  sim_->schedule_at(at, [this, u, v] { fail_link_now(u, v); });
-}
-
-void Network::restore_link_now(NodeId u, NodeId v) {
-  const std::int32_t link = topology_->edge_index(u, v);
-  LHG_CHECK(link >= 0, "restore_link: ({}, {}) not a link", u, v);
-  link_failed_[static_cast<std::size_t>(link)] = 0;
-}
-
-void Network::restore_link_at(NodeId u, NodeId v, double at) {
-  sim_->schedule_at(at, [this, u, v] { restore_link_now(u, v); });
-}
-
-void Network::set_partition(std::vector<std::uint8_t> side) {
-  LHG_CHECK(static_cast<core::NodeId>(side.size()) == topology_->num_nodes(),
-            "partition: side map has {} entries for n={}", side.size(),
-            topology_->num_nodes());
-  for (const std::uint8_t s : side) {
-    LHG_CHECK(s <= 1, "partition: side {} is not 0 or 1", s);
-  }
-  partition_side_ = std::move(side);
-  partition_active_ = true;
-}
-
-void Network::clear_partition() { partition_active_ = false; }
-
-void Network::partition_during(std::vector<std::uint8_t> side, double start,
-                               double end) {
-  LHG_CHECK(start < end, "partition: empty window [{}, {})", start, end);
-  sim_->schedule_at(start, [this, side = std::move(side)]() mutable {
-    set_partition(std::move(side));
-  });
-  sim_->schedule_at(end, [this] { clear_partition(); });
-}
-
-bool Network::link_ok(NodeId u, NodeId v) const {
-  const std::int32_t link = topology_->edge_index(u, v);
-  return link >= 0 && link_failed_[static_cast<std::size_t>(link)] == 0;
-}
-
-double Network::sample_latency(std::int32_t link) {
-  switch (latency_.kind) {
-    case LatencySpec::Kind::kFixed:
-      return latency_.base;
-    case LatencySpec::Kind::kUniformPerLink:
-      return link_latency_[static_cast<std::size_t>(link)];
-    case LatencySpec::Kind::kUniformPerSend:
-      return latency_.base + latency_.jitter * rng_->next_double();
-  }
-  LHG_CHECK(false, "Network: unknown latency kind {}",
-            static_cast<int>(latency_.kind));
-}
-
-bool Network::channel_drops(std::int32_t link) {
-  if (chaos_.gilbert_elliott) {
-    auto& bad = link_bad_[static_cast<std::size_t>(link)];
-    // Advance the two-state chain once per transmission, then draw the
-    // loss with the new state's probability.
-    if (bad == 0) {
-      if (rng_->next_bool(chaos_.ge_good_to_bad)) bad = 1;
-    } else {
-      if (rng_->next_bool(chaos_.ge_bad_to_good)) bad = 0;
-    }
-    const double p = bad != 0 ? chaos_.ge_loss_bad : chaos_.ge_loss_good;
-    return p > 0.0 && rng_->next_bool(p);
-  }
-  return chaos_.loss > 0.0 && rng_->next_bool(chaos_.loss);
-}
-
-void Network::schedule_copy(NodeId from, NodeId to, std::int32_t link,
-                            std::int64_t message) {
-  double delay = sample_latency(link);
-  if (chaos_.reorder > 0.0 && rng_->next_bool(chaos_.reorder)) {
-    delay += chaos_.reorder_jitter * rng_->next_double();
-  }
-  if (obs_ != nullptr) {
-    obs_->observe(obs_->net_delay, obs::SimObs::milli_ticks(delay));
-  }
-  sim_->schedule_deliver_in(delay, this, from, to, link, message);
-}
-
-bool Network::send(NodeId from, NodeId to, std::int64_t message) {
-  const std::int32_t link = topology_->edge_index(from, to);
-  LHG_CHECK(link >= 0, "send: ({}, {}) is not a link of the overlay", from,
-            to);
-  return send_link(from, to, link, message);
-}
-
-bool Network::send_link(NodeId from, NodeId to, std::int32_t link,
-                        std::int64_t message) {
-  LHG_DCHECK(link == topology_->edge_index(from, to),
-             "send_link: {} is not the edge id of ({}, {})", link, from, to);
-  if (crashed_[static_cast<std::size_t>(from)] != 0) {
-    ++stats_.blocked_sender_crashed;
-    blocked(from, to, obs::DropCause::kBlockedSenderCrashed);
-    return false;
-  }
-  if (link_failed_[static_cast<std::size_t>(link)] != 0) {
-    ++stats_.blocked_link_down;
-    blocked(from, to, obs::DropCause::kBlockedLinkDown);
-    return false;
-  }
-  if (partition_cuts(from, to)) {
-    ++stats_.blocked_partition;
-    blocked(from, to, obs::DropCause::kBlockedPartition);
-    return false;
-  }
-  ++stats_.sent;
-  if (obs_ != nullptr) {
-    obs_->add(obs_->net_sent);
-    obs_->event(sim_->now(), obs::TraceKind::kSend, from, to, link);
-  }
-  if (channel_drops(link)) {
-    ++stats_.lost;  // transmitted but dropped on the wire
-    if (obs_ != nullptr) {
-      obs_->add(obs_->net_lost);
-      obs_->event(sim_->now(), obs::TraceKind::kDrop, from, to,
-                  static_cast<std::int64_t>(obs::DropCause::kChannelLoss));
-    }
-    return true;
-  }
-  schedule_copy(from, to, link, message);
-  if (chaos_.duplicate > 0.0 && rng_->next_bool(chaos_.duplicate)) {
-    ++stats_.duplicated;
-    if (obs_ != nullptr) obs_->add(obs_->net_duplicated);
-    schedule_copy(from, to, link, message);
-  }
-  return true;
-}
-
-void Network::on_deliver(std::int32_t from, std::int32_t to,
-                         std::int32_t link, std::int64_t message) {
-  // Delivery checks at arrival time: receiver must be alive, the link
-  // must still be up, and no active partition may separate the
-  // endpoints (a message in flight when its link fails or the cut
-  // activates is lost, modeling a cut trunk).  The sender's state is
-  // irrelevant here — it was alive at send time or send() refused.
-  if (crashed_[static_cast<std::size_t>(to)] != 0) {
-    ++stats_.dropped_receiver_crashed;
-    dropped(from, to, obs::DropCause::kReceiverCrashed);
-    return;
-  }
-  if (link_failed_[static_cast<std::size_t>(link)] != 0) {
-    ++stats_.dropped_link_down;
-    dropped(from, to, obs::DropCause::kLinkDown);
-    return;
-  }
-  if (partition_cuts(from, to)) {
-    ++stats_.dropped_partition;
-    dropped(from, to, obs::DropCause::kPartition);
-    return;
-  }
-  ++stats_.delivered;
-  if (obs_ != nullptr) {
-    obs_->add(obs_->net_delivered);
-    obs_->event(sim_->now(), obs::TraceKind::kDeliver, to, from, link);
-  }
-  if (on_receive_) on_receive_(to, from, message);
-}
-
-void Network::blocked(NodeId from, NodeId to, obs::DropCause cause) {
-  if (obs_ == nullptr) return;
-  obs_->add(obs_->net_blocked);
-  obs_->event(sim_->now(), obs::TraceKind::kDrop, from, to,
-              static_cast<std::int64_t>(cause));
-}
-
-void Network::dropped(NodeId from, NodeId to, obs::DropCause cause) {
-  if (obs_ == nullptr) return;
-  obs_->add(obs_->net_dropped);
-  obs_->event(sim_->now(), obs::TraceKind::kDrop, from, to,
-              static_cast<std::int64_t>(cause));
-}
+// The materialized-overlay network is the library's workhorse; one
+// explicit instantiation here keeps every other TU's compile cost flat.
+template class BasicNetwork<core::Graph>;
 
 }  // namespace lhg::flooding

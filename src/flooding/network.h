@@ -1,20 +1,26 @@
 // Message-passing network over a fixed overlay topology.
 //
-// Nodes communicate only along the edges of a core::Graph; the Network
-// owns crash/recovery state, link failures and flaps, partition windows,
-// per-link latencies, the adversarial channel model (ChaosSpec) and the
-// robustness counters (NetworkStats).  A message sent at time t arrives
-// at t + latency(link) unless it is dropped by the channel, or, at the
-// *delivery* instant, the receiver is crashed, the link is down, or an
-// active partition separates the endpoints.  A sender crash only blocks
-// *future* sends: under fail-stop, copies already in flight when the
-// sender dies still arrive (pinned by the regression tests in
+// Nodes communicate only along the edges of an overlay graph; the
+// network owns crash/recovery state, link failures and flaps, partition
+// windows, per-link latencies, the adversarial channel model (ChaosSpec)
+// and the robustness counters (NetworkStats).  A message sent at time t
+// arrives at t + latency(link) unless it is dropped by the channel, or,
+// at the *delivery* instant, the receiver is crashed, the link is down,
+// or an active partition separates the endpoints.  A sender crash only
+// blocks *future* sends: under fail-stop, copies already in flight when
+// the sender dies still arrive (pinned by the regression tests in
 // test_network.cc).  Crash-recovery is symmetric: recover_* clears the
 // crash flag, so copies that would arrive during the down window are
 // lost while later arrivals (and later sends) succeed.
 //
-// All per-link state is edge-indexed: `Graph::edge_index` maps {u,v} to
-// a dense id once per send, and latencies / failure flags / channel
+// The overlay is a template parameter: `BasicNetwork<Topology>` needs
+// only `num_nodes()`, `num_edges()` and `edge_index(u, v)` from it, so
+// the same simulation runs over a materialized `core::Graph` (the
+// `Network` alias, explicitly instantiated in network.cc) or over the
+// storage-free `lhg::ImplicitLhg` view at n = 10^6+.
+//
+// All per-link state is edge-indexed: `edge_index` maps {u,v} to a
+// dense id once per send, and latencies / failure flags / channel
 // states are flat vectors over those ids.  For kUniformPerLink the
 // latencies are drawn up front, one per link in canonical edge order,
 // so the send path is branch-light and allocation-free; deliveries ride
@@ -33,8 +39,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
+#include "core/check.h"
 #include "core/graph.h"
 #include "core/rng.h"
 #include "flooding/event_sim.h"
@@ -134,26 +142,70 @@ struct NetworkStats {
   }
 };
 
-class Network final : private Simulator::DeliverSink {
+namespace detail {
+
+inline void check_probability(double p, const char* what) {
+  LHG_CHECK(p >= 0.0 && p < 1.0, "Network: {} probability {} must be in [0, 1)",
+            what, p);
+}
+
+}  // namespace detail
+
+template <typename Topology>
+class BasicNetwork final : private Simulator::DeliverSink {
  public:
-  /// `topology` and `sim` must outlive the Network.  `rng` is consumed
+  /// `topology` and `sim` must outlive the network.  `rng` is consumed
   /// for latency sampling and chaos draws (may be shared with the
   /// caller); with kUniformPerLink every link's latency is drawn here,
   /// in canonical edge order.
-  Network(const core::Graph& topology, Simulator& sim, LatencySpec latency,
-          core::Rng& rng, const ChaosSpec& chaos);
+  BasicNetwork(const Topology& topology, Simulator& sim, LatencySpec latency,
+               core::Rng& rng, const ChaosSpec& chaos)
+      : topology_(&topology),
+        sim_(&sim),
+        latency_(latency),
+        rng_(&rng),
+        chaos_(chaos),
+        crashed_(static_cast<std::size_t>(topology.num_nodes()), 0),
+        alive_count_(topology.num_nodes()),
+        link_failed_(static_cast<std::size_t>(topology.num_edges()), 0) {
+    LHG_CHECK(latency.base >= 0 && latency.jitter >= 0,
+              "Network: negative latency (base={}, jitter={})", latency.base,
+              latency.jitter);
+    detail::check_probability(chaos.loss, "loss");
+    detail::check_probability(chaos.duplicate, "duplicate");
+    detail::check_probability(chaos.reorder, "reorder");
+    LHG_CHECK(chaos.reorder_jitter >= 0.0,
+              "Network: negative reorder jitter {}", chaos.reorder_jitter);
+    if (chaos.gilbert_elliott) {
+      detail::check_probability(chaos.ge_good_to_bad, "GE good->bad");
+      detail::check_probability(chaos.ge_bad_to_good, "GE bad->good");
+      detail::check_probability(chaos.ge_loss_good, "GE good-state loss");
+      detail::check_probability(chaos.ge_loss_bad, "GE bad-state loss");
+      // Every link starts in the good state.
+      link_bad_.assign(static_cast<std::size_t>(topology.num_edges()), 0);
+    }
+    if (latency.kind == LatencySpec::Kind::kUniformPerLink) {
+      // Draw every link's latency up front, in canonical edge order (the
+      // pinned consumption order of the determinism contract); send()
+      // then reduces to a flat load.
+      link_latency_.resize(static_cast<std::size_t>(topology.num_edges()));
+      for (double& l : link_latency_) {
+        l = latency.base + latency.jitter * rng.next_double();
+      }
+    }
+  }
 
   /// Back-compat convenience: `loss_probability` is ChaosSpec::iid.
-  Network(const core::Graph& topology, Simulator& sim, LatencySpec latency,
-          core::Rng& rng, double loss_probability = 0.0)
-      : Network(topology, sim, latency, rng,
-                ChaosSpec::iid(loss_probability)) {}
+  BasicNetwork(const Topology& topology, Simulator& sim, LatencySpec latency,
+               core::Rng& rng, double loss_probability = 0.0)
+      : BasicNetwork(topology, sim, latency, rng,
+                     ChaosSpec::iid(loss_probability)) {}
 
-  // In-flight deliver events hold a pointer to this Network.
-  Network(const Network&) = delete;
-  Network& operator=(const Network&) = delete;
+  // In-flight deliver events hold a pointer to this network.
+  BasicNetwork(const BasicNetwork&) = delete;
+  BasicNetwork& operator=(const BasicNetwork&) = delete;
 
-  const core::Graph& topology() const { return *topology_; }
+  const Topology& topology() const { return *topology_; }
   Simulator& simulator() { return *sim_; }
 
   /// Observability tap (may be null; default).  Mirrors NetworkStats
@@ -171,44 +223,96 @@ class Network final : private Simulator::DeliverSink {
 
   /// Crashes `node` immediately (fail-stop; in-flight messages *from* it
   /// sent before the crash still arrive, later sends are dropped).
-  void crash_now(core::NodeId node);
+  void crash_now(core::NodeId node) {
+    LHG_CHECK_RANGE(node, topology_->num_nodes());
+    if (crashed_[static_cast<std::size_t>(node)] == 0) {
+      crashed_[static_cast<std::size_t>(node)] = 1;
+      --alive_count_;
+      if (obs_ != nullptr) {
+        obs_->event(sim_->now(), obs::TraceKind::kCrash, node);
+      }
+    }
+  }
 
   /// Schedules a crash at absolute virtual time `at`.
-  void crash_at(core::NodeId node, double at);
+  void crash_at(core::NodeId node, double at) {
+    sim_->schedule_at(at, [this, node] { crash_now(node); });
+  }
 
   /// Crash-recovery model: the node comes back with no protocol state
   /// (state restoration is the protocol's problem, not the network's).
   /// Copies that arrived during the down window stay lost; arrivals and
   /// sends after the recovery instant succeed.  Idempotent.
-  void recover_now(core::NodeId node);
-  void recover_at(core::NodeId node, double at);
+  void recover_now(core::NodeId node) {
+    LHG_CHECK_RANGE(node, topology_->num_nodes());
+    if (crashed_[static_cast<std::size_t>(node)] != 0) {
+      crashed_[static_cast<std::size_t>(node)] = 0;
+      ++alive_count_;
+      if (obs_ != nullptr) {
+        obs_->event(sim_->now(), obs::TraceKind::kRecover, node);
+      }
+    }
+  }
+  void recover_at(core::NodeId node, double at) {
+    sim_->schedule_at(at, [this, node] { recover_now(node); });
+  }
 
   /// Fails the link {u, v} immediately / at time `at`.  Messages in
   /// flight on the link at failure time are lost.
-  void fail_link_now(core::NodeId u, core::NodeId v);
-  void fail_link_at(core::NodeId u, core::NodeId v, double at);
+  void fail_link_now(core::NodeId u, core::NodeId v) {
+    const std::int32_t link = topology_->edge_index(u, v);
+    LHG_CHECK(link >= 0, "fail_link: ({}, {}) not a link", u, v);
+    link_failed_[static_cast<std::size_t>(link)] = 1;
+  }
+  void fail_link_at(core::NodeId u, core::NodeId v, double at) {
+    sim_->schedule_at(at, [this, u, v] { fail_link_now(u, v); });
+  }
 
   /// Brings a failed link back up (a "flap" is fail_link_at + this).
   /// Idempotent.
-  void restore_link_now(core::NodeId u, core::NodeId v);
-  void restore_link_at(core::NodeId u, core::NodeId v, double at);
+  void restore_link_now(core::NodeId u, core::NodeId v) {
+    const std::int32_t link = topology_->edge_index(u, v);
+    LHG_CHECK(link >= 0, "restore_link: ({}, {}) not a link", u, v);
+    link_failed_[static_cast<std::size_t>(link)] = 0;
+  }
+  void restore_link_at(core::NodeId u, core::NodeId v, double at) {
+    sim_->schedule_at(at, [this, u, v] { restore_link_now(u, v); });
+  }
 
   /// Activates a bipartition: `side` maps every node to 0 or 1, and
   /// while active every transmission whose endpoints disagree is
   /// blocked at send time and dropped at delivery time.  One partition
   /// is active at a time (a new call replaces the old cut).
-  void set_partition(std::vector<std::uint8_t> side);
-  void clear_partition();
+  void set_partition(std::vector<std::uint8_t> side) {
+    LHG_CHECK(static_cast<core::NodeId>(side.size()) == topology_->num_nodes(),
+              "partition: side map has {} entries for n={}", side.size(),
+              topology_->num_nodes());
+    for (const std::uint8_t s : side) {
+      LHG_CHECK(s <= 1, "partition: side {} is not 0 or 1", s);
+    }
+    partition_side_ = std::move(side);
+    partition_active_ = true;
+  }
+  void clear_partition() { partition_active_ = false; }
   bool partition_active() const { return partition_active_; }
 
   /// Schedules the partition for the window [start, end).
   void partition_during(std::vector<std::uint8_t> side, double start,
-                        double end);
+                        double end) {
+    LHG_CHECK(start < end, "partition: empty window [{}, {})", start, end);
+    sim_->schedule_at(start, [this, side = std::move(side)]() mutable {
+      set_partition(std::move(side));
+    });
+    sim_->schedule_at(end, [this] { clear_partition(); });
+  }
 
   bool is_alive(core::NodeId node) const {
     return crashed_[static_cast<std::size_t>(node)] == 0;
   }
-  bool link_ok(core::NodeId u, core::NodeId v) const;
+  bool link_ok(core::NodeId u, core::NodeId v) const {
+    const std::int32_t link = topology_->edge_index(u, v);
+    return link >= 0 && link_failed_[static_cast<std::size_t>(link)] == 0;
+  }
   std::int32_t alive_count() const { return alive_count_; }
 
   /// Sends `message` from `from` to its neighbor `to`.  Throws if the
@@ -216,14 +320,58 @@ class Network final : private Simulator::DeliverSink {
   /// nothing) if the sender is crashed, the link is down, or an active
   /// partition separates the endpoints.  Counts one message on every
   /// actual transmission attempt.
-  bool send(core::NodeId from, core::NodeId to, std::int64_t message);
+  bool send(core::NodeId from, core::NodeId to, std::int64_t message) {
+    const std::int32_t link = topology_->edge_index(from, to);
+    LHG_CHECK(link >= 0, "send: ({}, {}) is not a link of the overlay", from,
+              to);
+    return send_link(from, to, link, message);
+  }
 
   /// Fast-path send for callers that already hold the dense edge id of
   /// {from, to} — e.g. protocols walking a CSR arc range with
-  /// `Graph::arc_begin` / `Graph::edge_of_arc`.  Identical semantics to
-  /// send(), minus the O(log deg) adjacency search.
+  /// `arc_begin` / `edge_of_arc` or `incident_edge`.  Identical
+  /// semantics to send(), minus the O(log deg) adjacency search.
   bool send_link(core::NodeId from, core::NodeId to, std::int32_t link,
-                 std::int64_t message);
+                 std::int64_t message) {
+    LHG_DCHECK(link == topology_->edge_index(from, to),
+               "send_link: {} is not the edge id of ({}, {})", link, from, to);
+    if (crashed_[static_cast<std::size_t>(from)] != 0) {
+      ++stats_.blocked_sender_crashed;
+      blocked(from, to, obs::DropCause::kBlockedSenderCrashed);
+      return false;
+    }
+    if (link_failed_[static_cast<std::size_t>(link)] != 0) {
+      ++stats_.blocked_link_down;
+      blocked(from, to, obs::DropCause::kBlockedLinkDown);
+      return false;
+    }
+    if (partition_cuts(from, to)) {
+      ++stats_.blocked_partition;
+      blocked(from, to, obs::DropCause::kBlockedPartition);
+      return false;
+    }
+    ++stats_.sent;
+    if (obs_ != nullptr) {
+      obs_->add(obs_->net_sent);
+      obs_->event(sim_->now(), obs::TraceKind::kSend, from, to, link);
+    }
+    if (channel_drops(link)) {
+      ++stats_.lost;  // transmitted but dropped on the wire
+      if (obs_ != nullptr) {
+        obs_->add(obs_->net_lost);
+        obs_->event(sim_->now(), obs::TraceKind::kDrop, from, to,
+                    static_cast<std::int64_t>(obs::DropCause::kChannelLoss));
+      }
+      return true;
+    }
+    schedule_copy(from, to, link, message);
+    if (chaos_.duplicate > 0.0 && rng_->next_bool(chaos_.duplicate)) {
+      ++stats_.duplicated;
+      if (obs_ != nullptr) obs_->add(obs_->net_duplicated);
+      schedule_copy(from, to, link, message);
+    }
+    return true;
+  }
 
   /// Robustness counters (see NetworkStats).
   const NetworkStats& stats() const { return stats_; }
@@ -236,20 +384,91 @@ class Network final : private Simulator::DeliverSink {
  private:
   // Typed-event entry point: delivery-instant checks, then the handler.
   void on_deliver(std::int32_t from, std::int32_t to, std::int32_t link,
-                  std::int64_t message) override;
+                  std::int64_t message) override {
+    // Delivery checks at arrival time: receiver must be alive, the link
+    // must still be up, and no active partition may separate the
+    // endpoints (a message in flight when its link fails or the cut
+    // activates is lost, modeling a cut trunk).  The sender's state is
+    // irrelevant here — it was alive at send time or send() refused.
+    if (crashed_[static_cast<std::size_t>(to)] != 0) {
+      ++stats_.dropped_receiver_crashed;
+      dropped(from, to, obs::DropCause::kReceiverCrashed);
+      return;
+    }
+    if (link_failed_[static_cast<std::size_t>(link)] != 0) {
+      ++stats_.dropped_link_down;
+      dropped(from, to, obs::DropCause::kLinkDown);
+      return;
+    }
+    if (partition_cuts(from, to)) {
+      ++stats_.dropped_partition;
+      dropped(from, to, obs::DropCause::kPartition);
+      return;
+    }
+    ++stats_.delivered;
+    if (obs_ != nullptr) {
+      obs_->add(obs_->net_delivered);
+      obs_->event(sim_->now(), obs::TraceKind::kDeliver, to, from, link);
+    }
+    if (on_receive_) on_receive_(to, from, message);
+  }
 
-  double sample_latency(std::int32_t link);
+  double sample_latency(std::int32_t link) {
+    switch (latency_.kind) {
+      case LatencySpec::Kind::kFixed:
+        return latency_.base;
+      case LatencySpec::Kind::kUniformPerLink:
+        return link_latency_[static_cast<std::size_t>(link)];
+      case LatencySpec::Kind::kUniformPerSend:
+        return latency_.base + latency_.jitter * rng_->next_double();
+    }
+    LHG_CHECK(false, "Network: unknown latency kind {}",
+              static_cast<int>(latency_.kind));
+  }
 
   // Advances the channel for one transmission; true = the copy drops.
-  bool channel_drops(std::int32_t link);
+  bool channel_drops(std::int32_t link) {
+    if (chaos_.gilbert_elliott) {
+      auto& bad = link_bad_[static_cast<std::size_t>(link)];
+      // Advance the two-state chain once per transmission, then draw the
+      // loss with the new state's probability.
+      if (bad == 0) {
+        if (rng_->next_bool(chaos_.ge_good_to_bad)) bad = 1;
+      } else {
+        if (rng_->next_bool(chaos_.ge_bad_to_good)) bad = 0;
+      }
+      const double p = bad != 0 ? chaos_.ge_loss_bad : chaos_.ge_loss_good;
+      return p > 0.0 && rng_->next_bool(p);
+    }
+    return chaos_.loss > 0.0 && rng_->next_bool(chaos_.loss);
+  }
 
   // Schedules one delivery copy (latency + optional reorder jitter).
   void schedule_copy(core::NodeId from, core::NodeId to, std::int32_t link,
-                     std::int64_t message);
+                     std::int64_t message) {
+    double delay = sample_latency(link);
+    if (chaos_.reorder > 0.0 && rng_->next_bool(chaos_.reorder)) {
+      delay += chaos_.reorder_jitter * rng_->next_double();
+    }
+    if (obs_ != nullptr) {
+      obs_->observe(obs_->net_delay, obs::SimObs::milli_ticks(delay));
+    }
+    sim_->schedule_deliver_in(delay, this, from, to, link, message);
+  }
 
   // Cold-path obs recording for refused sends / dropped copies.
-  void blocked(core::NodeId from, core::NodeId to, obs::DropCause cause);
-  void dropped(core::NodeId from, core::NodeId to, obs::DropCause cause);
+  void blocked(core::NodeId from, core::NodeId to, obs::DropCause cause) {
+    if (obs_ == nullptr) return;
+    obs_->add(obs_->net_blocked);
+    obs_->event(sim_->now(), obs::TraceKind::kDrop, from, to,
+                static_cast<std::int64_t>(cause));
+  }
+  void dropped(core::NodeId from, core::NodeId to, obs::DropCause cause) {
+    if (obs_ == nullptr) return;
+    obs_->add(obs_->net_dropped);
+    obs_->event(sim_->now(), obs::TraceKind::kDrop, from, to,
+                static_cast<std::int64_t>(cause));
+  }
 
   bool partition_cuts(core::NodeId u, core::NodeId v) const {
     return partition_active_ &&
@@ -257,7 +476,7 @@ class Network final : private Simulator::DeliverSink {
                partition_side_[static_cast<std::size_t>(v)];
   }
 
-  const core::Graph* topology_;
+  const Topology* topology_;
   Simulator* sim_;
   LatencySpec latency_;
   core::Rng* rng_;
@@ -273,5 +492,11 @@ class Network final : private Simulator::DeliverSink {
   std::vector<std::uint8_t> partition_side_;  // per node; empty until set
   bool partition_active_ = false;
 };
+
+/// The canonical materialized-overlay instantiation (the only one most
+/// of the library uses); compiled once in network.cc.
+using Network = BasicNetwork<core::Graph>;
+
+extern template class BasicNetwork<core::Graph>;
 
 }  // namespace lhg::flooding

@@ -5,6 +5,7 @@
 
 #include "core/bfs.h"
 #include "core/check.h"
+#include "flooding/flood_generic.h"
 
 namespace lhg::flooding {
 
@@ -16,84 +17,16 @@ void check_source(const NodeId source, const NodeId n) {
   LHG_CHECK_RANGE(source, n);
 }
 
-/// Fills the aggregate fields from per-node state.
-void finalize(DisseminationResult& result, const std::vector<bool>& alive) {
-  result.alive_nodes = 0;
-  result.delivered_alive = 0;
-  result.completion_time = 0.0;
-  result.completion_hops = 0;
-  for (std::size_t u = 0; u < alive.size(); ++u) {
-    if (!alive[u]) continue;
-    ++result.alive_nodes;
-    if (result.delivery_time[u] >= 0.0) {
-      ++result.delivered_alive;
-      result.completion_time =
-          std::max(result.completion_time, result.delivery_time[u]);
-      result.completion_hops =
-          std::max(result.completion_hops, result.delivery_hops[u]);
-    }
-  }
-}
-
-std::vector<bool> alive_mask(const Network& net) {
-  std::vector<bool> alive(
-      static_cast<std::size_t>(net.topology().num_nodes()));
-  for (NodeId u = 0; u < net.topology().num_nodes(); ++u) {
-    alive[static_cast<std::size_t>(u)] = net.is_alive(u);
-  }
-  return alive;
-}
+using detail::alive_mask;
+using detail::finalize_dissemination;
 
 }  // namespace
 
 DisseminationResult flood(const core::Graph& topology, const FloodConfig& cfg,
                           const FailurePlan& failures) {
-  check_source(cfg.source, topology.num_nodes());
-  Simulator sim;
-  core::Rng rng(cfg.seed);
-  Network net(topology, sim, cfg.latency, rng, cfg.chaos);
-  obs::Runtime obs_rt(cfg.obs);
-  sim.set_obs(obs_rt.obs());
-  net.set_obs(obs_rt.obs());
-  apply_failure_plan(net, failures);
-
-  DisseminationResult result;
-  const auto n = static_cast<std::size_t>(topology.num_nodes());
-  result.delivery_time.assign(n, -1.0);
-  result.delivery_hops.assign(n, -1);
-
-  auto forward = [&](NodeId self, NodeId except, std::int32_t hops) {
-    // Walk self's CSR arc slice so each send hands the Network its edge
-    // id directly — no per-neighbor adjacency search on the hot path.
-    std::int32_t arc = topology.arc_begin(self);
-    for (NodeId v : topology.neighbors(self)) {
-      if (v != except) net.send_link(self, v, topology.edge_of_arc(arc), hops);
-      ++arc;
-    }
-  };
-  net.set_receive_handler([&](NodeId self, NodeId from, std::int64_t hops) {
-    auto& t = result.delivery_time[static_cast<std::size_t>(self)];
-    if (t >= 0.0) return;  // duplicate copy: absorb
-    t = sim.now();
-    result.delivery_hops[static_cast<std::size_t>(self)] =
-        static_cast<std::int32_t>(hops) + 1;
-    forward(self, from, static_cast<std::int32_t>(hops) + 1);
-  });
-
-  if (net.is_alive(cfg.source)) {
-    result.delivery_time[static_cast<std::size_t>(cfg.source)] = 0.0;
-    result.delivery_hops[static_cast<std::size_t>(cfg.source)] = 0;
-    sim.schedule_at(0.0, [&] { forward(cfg.source, -1, 0); });
-  }
-  sim.run();
-
-  result.messages_sent = net.messages_sent();
-  result.events_processed = sim.events_processed();
-  result.net = net.stats();
-  result.metrics = obs_rt.metrics_snapshot();
-  result.trace = obs_rt.trace_log();
-  finalize(result, alive_mask(net));
-  return result;
+  // The protocol lives in flood_generic.h, written once against the
+  // EdgeIndexedGraph concept; this is its materialized-overlay face.
+  return flood<core::Graph>(topology, cfg, failures);
 }
 
 DisseminationResult probabilistic_flood(const core::Graph& topology,
@@ -148,7 +81,7 @@ DisseminationResult probabilistic_flood(const core::Graph& topology,
   result.net = net.stats();
   result.metrics = obs_rt.metrics_snapshot();
   result.trace = obs_rt.trace_log();
-  finalize(result, alive_mask(net));
+  finalize_dissemination(result, alive_mask(net));
   return result;
 }
 
@@ -238,7 +171,7 @@ DisseminationResult gossip(NodeId num_nodes, const GossipConfig& cfg,
     }
     infected.insert(infected.end(), fresh.begin(), fresh.end());
   }
-  finalize(result, alive);
+  finalize_dissemination(result, alive);
   return result;
 }
 
@@ -304,7 +237,7 @@ DisseminationResult spanning_tree_multicast(const core::Graph& topology,
   result.net = net.stats();
   result.metrics = obs_rt.metrics_snapshot();
   result.trace = obs_rt.trace_log();
-  finalize(result, alive_mask(net));
+  finalize_dissemination(result, alive_mask(net));
   return result;
 }
 

@@ -4,9 +4,8 @@
 
 namespace lhg {
 
-core::Graph assemble(const TreePlan& plan, Layout* layout_out) {
-  LHG_CHECK(plan.k >= 2, "assemble: k must be >= 2, got {}", plan.k);
-
+Layout layout_of(const TreePlan& plan) {
+  LHG_CHECK(plan.k >= 2, "layout_of: k must be >= 2, got {}", plan.k);
   Layout layout;
   layout.k = plan.k;
   layout.num_interiors = plan.num_interiors();
@@ -19,6 +18,11 @@ core::Graph assemble(const TreePlan& plan, Layout* layout_out) {
       layout.leaf_slot[l] = layout.num_unshared_groups++;
     }
   }
+  return layout;
+}
+
+core::Graph assemble(const TreePlan& plan, Layout* layout_out) {
+  Layout layout = layout_of(plan);
 
   const auto n = layout.total_nodes();
   LHG_CHECK(n <= INT32_MAX, "assemble: {} nodes exceed the NodeId range", n);

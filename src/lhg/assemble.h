@@ -19,4 +19,10 @@ namespace lhg {
 /// If `layout` is non-null it receives the id map of the result.
 core::Graph assemble(const TreePlan& plan, Layout* layout = nullptr);
 
+/// The id layout `assemble` would use for `plan`, without building the
+/// graph.  This is the single definition of the node-id map: the
+/// implicit adjacency view (lhg/implicit.h) derives neighbors from it
+/// arithmetically, so it must match assemble() slot for slot.
+Layout layout_of(const TreePlan& plan);
+
 }  // namespace lhg

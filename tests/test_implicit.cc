@@ -1,0 +1,168 @@
+// Pins lhg::ImplicitLhg (lhg/implicit.h) against the materialized
+// construction: the view must answer every adjacency, arc, and edge-id
+// query exactly as the graph lhg::build returns — same node ids, same
+// ascending neighbor order, same dense edge numbering.  Any divergence
+// would silently corrupt per-edge state (reliable-link windows,
+// heartbeat tables) for code running against the view.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/bfs_generic.h"
+#include "core/graph.h"
+#include "core/parallel.h"
+#include "flooding/flood_generic.h"
+#include "lhg/implicit.h"
+#include "lhg/lhg.h"
+
+namespace lhg {
+namespace {
+
+using core::NodeId;
+
+/// Exhaustive implicit-vs-materialized agreement: every node's degree,
+/// full neighbor list, incident edge ids, and arc slice.
+void expect_equivalent(const ImplicitLhg& view, const core::Graph& g,
+                       const std::string& label) {
+  ASSERT_EQ(view.num_nodes(), g.num_nodes()) << label;
+  ASSERT_EQ(view.num_edges(), g.num_edges()) << label;
+  ASSERT_EQ(view.num_arcs(), g.num_arcs()) << label;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(view.degree(v), g.degree(v)) << label << " v=" << v;
+    ASSERT_EQ(view.arc_begin(v), g.arc_begin(v)) << label << " v=" << v;
+    const auto neighbors = g.neighbors(v);
+    for (std::int32_t i = 0; i < g.degree(v); ++i) {
+      const NodeId expect = neighbors[static_cast<std::size_t>(i)];
+      ASSERT_EQ(view.neighbor(v, i), expect)
+          << label << " neighbor(" << v << ", " << i << ")";
+      ASSERT_EQ(view.incident_edge(v, i), g.incident_edge(v, i))
+          << label << " incident_edge(" << v << ", " << i << ")";
+      const std::int32_t arc = g.arc_begin(v) + i;
+      ASSERT_EQ(view.arc_target(arc), g.arc_target(arc))
+          << label << " arc " << arc;
+      ASSERT_EQ(view.edge_of_arc(arc), g.edge_of_arc(arc))
+          << label << " arc " << arc;
+    }
+  }
+}
+
+TEST(ImplicitEquivalence, MatchesBuildAcrossGridAndConstraints) {
+  // Includes non-power-of-two and odd n: partial shared-leaf rows and
+  // trailing group remainders exercise every leaf-slot branch.
+  const std::vector<std::int64_t> sizes = {16, 25, 40,  63,  64,  100,
+                                           129, 200, 257, 400, 777, 1000};
+  for (const Constraint c :
+       {Constraint::kStrictJD, Constraint::kKTree, Constraint::kKDiamond}) {
+    for (const std::int32_t k : {3, 4, 5}) {
+      for (const std::int64_t n : sizes) {
+        if (!exists(n, k, c)) continue;
+        const std::string label = to_string(c) + " n=" + std::to_string(n) +
+                                  " k=" + std::to_string(k);
+        const ImplicitLhg view(n, k, c);
+        const core::Graph g = build(static_cast<NodeId>(n), k, c);
+        expect_equivalent(view, g, label);
+      }
+    }
+  }
+}
+
+TEST(ImplicitEquivalence, EdgeIndexAgreesIncludingNonEdges) {
+  const ImplicitLhg view(200, 4);
+  const core::Graph g = build(200, 4);
+  // All pairs: present edges get the graph's dense id, absent pairs -1.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(view.edge_index(u, v), g.edge_index(u, v))
+          << "(" << u << ", " << v << ")";
+    }
+  }
+  EXPECT_EQ(view.edge_index(0, 0), -1);  // self loops are never edges
+}
+
+TEST(ImplicitEquivalence, MaterializeEqualsBuild) {
+  for (const Constraint c :
+       {Constraint::kStrictJD, Constraint::kKTree, Constraint::kKDiamond}) {
+    for (const std::int64_t n : {40, 100, 257}) {
+      if (!exists(n, 4, c)) continue;
+      const ImplicitLhg view(n, 4, c);
+      EXPECT_EQ(view.materialize(), build(static_cast<NodeId>(n), 4, c))
+          << to_string(c) << " n=" << n;
+    }
+  }
+}
+
+TEST(ImplicitEquivalence, PlanConstructorMatchesSizeConstructor) {
+  const auto tree_plan = plan(400, 4, Constraint::kKDiamond);
+  const ImplicitLhg from_plan(tree_plan);
+  const ImplicitLhg from_size(400, 4, Constraint::kKDiamond);
+  expect_equivalent(from_plan, from_size.materialize(), "plan-vs-size");
+}
+
+TEST(ImplicitEquivalence, UnrealizablePairThrowsLikeBuild) {
+  EXPECT_THROW(ImplicitLhg(5, 4), std::invalid_argument);
+  EXPECT_THROW(ImplicitLhg(100, 1), std::invalid_argument);
+}
+
+TEST(ImplicitEquivalence, BfsDistancesMatchCsr) {
+  const ImplicitLhg view(1000, 4);
+  const core::Graph g = view.materialize();
+  for (const NodeId source : {NodeId{0}, g.num_nodes() - 1}) {
+    EXPECT_EQ(core::generic_bfs_distances(view, source),
+              core::generic_bfs_distances(g, source))
+        << "source=" << source;
+  }
+}
+
+TEST(ImplicitEquivalence, FloodOverViewMatchesFloodOverGraph) {
+  const ImplicitLhg view(500, 4);
+  const core::Graph g = view.materialize();
+  flooding::FloodConfig cfg;
+  cfg.seed = 23;
+  const auto via_view = flooding::flood(view, cfg);
+  const auto via_graph = flooding::flood(g, cfg);
+  // Identical edge ids + identical seed => bit-identical runs.
+  EXPECT_EQ(via_view.delivery_time, via_graph.delivery_time);
+  EXPECT_EQ(via_view.delivery_hops, via_graph.delivery_hops);
+  EXPECT_EQ(via_view.messages_sent, via_graph.messages_sent);
+  EXPECT_TRUE(via_view.all_alive_delivered());
+}
+
+// Restores the ambient thread count on scope exit (mirrors
+// tests/test_parallel.cc; duplicated to keep the binary's test files
+// self-contained).
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int threads) { core::set_global_thread_count(threads); }
+  ~ScopedThreads() { core::set_global_thread_count(previous_); }
+
+ private:
+  int previous_ = core::global_thread_count();
+};
+
+TEST(ImplicitCsrDeterminism, BfsAndFloodIdenticalAtOneAndManyThreads) {
+  // The from_csr graph must behave like any other core::Graph under the
+  // determinism contract: BFS distances and flood traces are invariant
+  // in the global thread count.
+  const core::Graph g = ImplicitLhg(600, 4).materialize();
+  ScopedThreads restore(1);
+  const auto serial_dist = core::generic_bfs_distances(g, 0);
+  flooding::FloodConfig cfg;
+  cfg.seed = 7;
+  const auto serial_flood = flooding::flood(g, cfg);
+  for (const int threads : {2, 4, 8}) {
+    core::set_global_thread_count(threads);
+    EXPECT_EQ(core::generic_bfs_distances(g, 0), serial_dist) << threads;
+    const auto parallel_flood = flooding::flood(g, cfg);
+    EXPECT_EQ(parallel_flood.delivery_time, serial_flood.delivery_time)
+        << threads;
+    EXPECT_EQ(parallel_flood.delivery_hops, serial_flood.delivery_hops)
+        << threads;
+    EXPECT_EQ(parallel_flood.messages_sent, serial_flood.messages_sent)
+        << threads;
+  }
+}
+
+}  // namespace
+}  // namespace lhg
