@@ -1,0 +1,38 @@
+#include "core/certificate.h"
+
+#include <algorithm>
+
+namespace lhg::core {
+
+Graph graph_from_undirected_edges(NodeId num_nodes,
+                                  const std::vector<Edge>& edges) {
+  LHG_CHECK(num_nodes >= 0, "negative node count {}", num_nodes);
+  std::vector<std::int32_t> offsets(static_cast<std::size_t>(num_nodes) + 1,
+                                    0);
+  for (const Edge& e : edges) {
+    LHG_CHECK_RANGE(e.u, num_nodes);
+    LHG_CHECK_RANGE(e.v, num_nodes);
+    LHG_CHECK(e.u != e.v, "self-loop at node {}", e.u);
+    ++offsets[as_index(e.u) + 1];
+    ++offsets[as_index(e.v) + 1];
+  }
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    offsets[as_index(v) + 1] += offsets[as_index(v)];
+  }
+  std::vector<NodeId> adjacency(static_cast<std::size_t>(offsets.back()));
+  std::vector<std::int32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges) {
+    adjacency[static_cast<std::size_t>(cursor[as_index(e.u)]++)] = e.v;
+    adjacency[static_cast<std::size_t>(cursor[as_index(e.v)]++)] = e.u;
+  }
+  // from_csr requires strictly ascending slices; the scan emits edges
+  // in discovery order, so sort each node's slice (duplicates would be
+  // caught by from_csr's strictness check).
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    std::sort(adjacency.begin() + offsets[as_index(v)],
+              adjacency.begin() + offsets[as_index(v) + 1]);
+  }
+  return Graph::from_csr(num_nodes, std::move(offsets), std::move(adjacency));
+}
+
+}  // namespace lhg::core

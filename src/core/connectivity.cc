@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <stdexcept>
+#include <limits>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/bfs.h"
+#include "core/certificate.h"
 #include "core/check.h"
 #include "core/maxflow.h"
 #include "core/parallel.h"
@@ -21,8 +24,8 @@ void check_pair(const Graph& g, NodeId s, NodeId t) {
 }
 
 /// Unit-capacity digraph: every undirected edge becomes two opposing arcs.
-FlowNetwork edge_network(const Graph& g) {
-  FlowNetwork net(g.num_nodes());
+PushRelabel edge_network(const Graph& g) {
+  PushRelabel net(g.num_nodes());
   for (Edge e : g.edges()) {
     net.add_arc(e.u, e.v, 1);
     net.add_arc(e.v, e.u, 1);
@@ -44,11 +47,11 @@ constexpr std::int32_t out_vertex(NodeId v) { return 2 * v + 1; }
 /// min cut can never select, so minimum_vertex_cut passes n+1 — valid
 /// only for non-adjacent pairs, where every s-t cut must consist of
 /// split arcs.
-FlowNetwork split_network(
+PushRelabel split_network(
     const Graph& g,
     std::vector<std::pair<NodeId, NodeId>>* arc_to_edge = nullptr,
     std::int64_t edge_capacity = 1) {
-  FlowNetwork net(2 * g.num_nodes());
+  PushRelabel net(2 * g.num_nodes());
   std::vector<std::pair<NodeId, NodeId>> mapping;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     net.add_arc(in_vertex(v), out_vertex(v), 1);
@@ -67,6 +70,21 @@ FlowNetwork split_network(
 bool is_complete(const Graph& g) {
   const auto n = static_cast<std::int64_t>(g.num_nodes());
   return g.num_edges() == n * (n - 1) / 2;
+}
+
+/// Every production caller knows the k it is verifying against and must
+/// thread it through as `upper_limit` — an uncapped global query on a
+/// big graph certifies at δ(G) instead of k and forfeits the early
+/// exit.  Debug builds flag the omission.
+constexpr NodeId kUncappedNudgeNodes = 8192;
+void nudge_uncapped([[maybe_unused]] const Graph& g,
+                    [[maybe_unused]] std::int32_t upper_limit,
+                    [[maybe_unused]] const char* what) {
+  LHG_DCHECK(upper_limit != std::numeric_limits<std::int32_t>::max() ||
+                 g.num_nodes() <= kUncappedNudgeNodes,
+             "{} called uncapped on n={} — pass upper_limit (callers "
+             "verifying P1/P2 always know k)",
+             what, g.num_nodes());
 }
 
 /// Shared "best cut seen so far" for parallel connectivity probes.
@@ -100,69 +118,170 @@ class SharedUpperBound {
 };
 
 /// Minimum of `probe(pair)` over `pairs`, with shared-bound pruning.
-/// `probe(s, t, limit)` must return min(connectivity(s, t), limit).
+/// `probe(s, t, limit, lane)` must return min(connectivity(s, t), limit);
+/// `lane` selects per-lane scratch (a ConnectivityProber per lane — the
+/// push-relabel networks hold per-query state, so one solver cannot be
+/// shared across concurrent probes).
 template <typename Probe>
 std::int32_t min_over_pairs(const std::vector<std::pair<NodeId, NodeId>>& pairs,
                             std::int32_t initial, Probe&& probe) {
   SharedUpperBound best(initial);
   parallel_for(static_cast<std::int64_t>(pairs.size()), 1,
-               [&](std::int64_t i, int) {
+               [&](std::int64_t i, int lane) {
                  const std::int32_t limit = best.current();
                  if (limit <= 0) return;  // cannot get below zero
                  const auto [s, t] = pairs[static_cast<std::size_t>(i)];
-                 best.observe(probe(s, t, limit));
+                 best.observe(probe(s, t, limit, lane));
                });
   return best.current();
 }
 
+/// One lazily-constructed prober per parallel lane, all over `cert`.
+class LaneProbers {
+ public:
+  explicit LaneProbers(const Graph& cert)
+      : cert_(&cert),
+        probers_(static_cast<std::size_t>(global_thread_count())) {}
+
+  ConnectivityProber& lane(int lane) {
+    auto& slot = probers_[static_cast<std::size_t>(lane)];
+    if (!slot) slot.emplace(*cert_);
+    return *slot;
+  }
+
+ private:
+  const Graph* cert_;
+  std::vector<std::optional<ConnectivityProber>> probers_;
+};
+
 }  // namespace
+
+ConnectivityProber::ConnectivityProber(const Graph& g) : g_(&g) {}
+
+std::int32_t ConnectivityProber::edge_probe(NodeId s, NodeId t,
+                                            std::int32_t limit) {
+  check_pair(*g_, s, t);
+  if (limit <= 0) return 0;
+  if (!edge_net_) edge_net_.emplace(edge_network(*g_));
+  return static_cast<std::int32_t>(edge_net_->max_flow(s, t, limit, scratch_));
+}
+
+std::int32_t ConnectivityProber::vertex_probe(NodeId s, NodeId t,
+                                              std::int32_t limit) {
+  check_pair(*g_, s, t);
+  if (limit <= 0) return 0;
+  if (!vertex_net_) vertex_net_.emplace(split_network(*g_));
+  return static_cast<std::int32_t>(
+      vertex_net_->max_flow(out_vertex(s), in_vertex(t), limit, scratch_));
+}
 
 std::int32_t local_edge_connectivity(const Graph& g, NodeId s, NodeId t,
                                      std::int32_t limit) {
   check_pair(g, s, t);
-  FlowNetwork net = edge_network(g);
-  return static_cast<std::int32_t>(net.max_flow(s, t, limit));
+  // λ(s,t) <= min(deg(s), deg(t)): sparsifying at that cap loses
+  // nothing (core/certificate.h), and min(λ, cap) == min(λ, limit).
+  const std::int32_t cap =
+      std::min({limit, g.degree(s), g.degree(t)});
+  if (cap <= 0) return 0;
+  const Graph cert = sparse_certificate(g, cap);
+  ConnectivityProber prober(cert);
+  return prober.edge_probe(s, t, cap);
 }
 
 std::int32_t local_vertex_connectivity(const Graph& g, NodeId s, NodeId t,
                                        std::int32_t limit) {
   check_pair(g, s, t);
-  FlowNetwork net = split_network(g);
-  return static_cast<std::int32_t>(
-      net.max_flow(out_vertex(s), in_vertex(t), limit));
+  // κ(s,t) <= min(deg(s), deg(t)): each path leaves s by its own edge.
+  const std::int32_t cap =
+      std::min({limit, g.degree(s), g.degree(t)});
+  if (cap <= 0) return 0;
+  const Graph cert = sparse_certificate(g, cap);
+  ConnectivityProber prober(cert);
+  return prober.vertex_probe(s, t, cap);
 }
 
 std::int32_t edge_connectivity(const Graph& g, std::int32_t upper_limit) {
   LHG_CHECK(g.num_nodes() > 0, "edge connectivity of the empty graph");
+  nudge_uncapped(g, upper_limit, "edge_connectivity");
   if (g.num_nodes() == 1) return 0;
   if (!is_connected(g)) return 0;
-  // λ(G) = min over t != s of λ(s, t) for any fixed s, and λ <= δ(G).
+  // λ(G) = min over *consecutive pairs of any vertex ordering*: a
+  // minimum cut (S, V\S) has both sides non-empty, so some consecutive
+  // pair straddles it and contributes λ(v_i, v_{i+1}) <= c(S) = λ(G),
+  // while every pairwise λ is >= λ(G).  (The classic fixed-endpoint
+  // probe set is the special case 0,1,...,n-1 — but it pays a
+  // diameter-long flow per probe.)  A DFS preorder makes consecutive
+  // pairs nearly adjacent — the tree distances of consecutive preorder
+  // pairs sum to <= 2n by the Euler-tour bound — so each probe routes
+  // its units over short paths and the whole sweep costs O(λ·n) pushes
+  // instead of Θ(n·diameter).
+  const std::int32_t initial = std::min(g.min_degree(), upper_limit);
+  if (initial <= 0) return initial;
+  const Graph cert = sparse_certificate(g, initial);
+  LaneProbers probers(cert);
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(g.num_nodes()));
+  {
+    std::vector<bool> seen(static_cast<std::size_t>(g.num_nodes()), false);
+    struct Frame {
+      NodeId node;
+      std::size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({0});
+    seen[0] = true;
+    order.push_back(0);
+    while (!stack.empty()) {
+      auto& frame = stack.back();
+      const auto nbrs = g.neighbors(frame.node);
+      if (frame.next == nbrs.size()) {
+        stack.pop_back();
+        continue;
+      }
+      const NodeId w = nbrs[frame.next++];
+      if (seen[static_cast<std::size_t>(w)]) continue;
+      seen[static_cast<std::size_t>(w)] = true;
+      order.push_back(w);
+      stack.push_back({w});
+    }
+  }
   std::vector<std::pair<NodeId, NodeId>> pairs;
-  pairs.reserve(static_cast<std::size_t>(g.num_nodes()) - 1);
-  for (NodeId t = 1; t < g.num_nodes(); ++t) pairs.emplace_back(0, t);
-  return min_over_pairs(pairs, std::min(g.min_degree(), upper_limit),
-                        [&g](NodeId s, NodeId t, std::int32_t limit) {
-                          return local_edge_connectivity(g, s, t, limit);
-                        });
+  pairs.reserve(order.size() - 1);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    pairs.emplace_back(order[i + 1], order[i]);
+  }
+  return min_over_pairs(
+      pairs, initial,
+      [&probers](NodeId s, NodeId t, std::int32_t limit, int lane) {
+        return probers.lane(lane).edge_probe(s, t, limit);
+      });
 }
 
 std::int32_t vertex_connectivity(const Graph& g, std::int32_t upper_limit) {
   LHG_CHECK(g.num_nodes() > 0, "vertex connectivity of the empty graph");
+  nudge_uncapped(g, upper_limit, "vertex_connectivity");
   if (g.num_nodes() == 1) return 0;
   if (!is_connected(g)) return 0;
   if (is_complete(g)) return std::min(g.num_nodes() - 1, upper_limit);
 
   // Even's pruning: κ is witnessed either between a minimum-degree
   // vertex v and one of its non-neighbors, or between two non-adjacent
-  // neighbors of v.
+  // neighbors of v.  Pairs come from G; probes run on the certificate
+  // (same node ids, and min(κ_cert, cap) == min(κ_G, cap) pairwise).
+  // κ is symmetric, so v goes in SINK position: the bulk of the probes
+  // then share one sink and hit the solver's sink-keyed label cache.
   NodeId v = 0;
   for (NodeId u = 1; u < g.num_nodes(); ++u) {
     if (g.degree(u) < g.degree(v)) v = u;
   }
+  const std::int32_t initial = std::min(g.degree(v), upper_limit);
+  if (initial <= 0) return initial;
+  const Graph cert = sparse_certificate(g, initial);
+  LaneProbers probers(cert);
   std::vector<std::pair<NodeId, NodeId>> pairs;
   for (NodeId w = 0; w < g.num_nodes(); ++w) {
     if (w == v || g.has_edge(v, w)) continue;
-    pairs.emplace_back(v, w);
+    pairs.emplace_back(w, v);
   }
   const auto nbrs = g.neighbors(v);
   for (std::size_t i = 0; i < nbrs.size(); ++i) {
@@ -171,10 +290,11 @@ std::int32_t vertex_connectivity(const Graph& g, std::int32_t upper_limit) {
       pairs.emplace_back(nbrs[i], nbrs[j]);
     }
   }
-  return min_over_pairs(pairs, std::min(g.degree(v), upper_limit),
-                        [&g](NodeId s, NodeId t, std::int32_t limit) {
-                          return local_vertex_connectivity(g, s, t, limit);
-                        });
+  return min_over_pairs(
+      pairs, initial,
+      [&probers](NodeId s, NodeId t, std::int32_t limit, int lane) {
+        return probers.lane(lane).vertex_probe(s, t, limit);
+      });
 }
 
 bool is_k_vertex_connected(const Graph& g, std::int32_t k) {
@@ -197,10 +317,14 @@ std::optional<std::vector<std::vector<NodeId>>> vertex_disjoint_paths(
     const Graph& g, NodeId s, NodeId t, std::int32_t count) {
   check_pair(g, s, t);
   if (count <= 0) return std::vector<std::vector<NodeId>>{};
+  // A count-certificate contains `count` disjoint s-t paths iff G does,
+  // and any path in the certificate is a path in G.
+  const Graph cert = sparse_certificate(g, count);
   std::vector<std::pair<NodeId, NodeId>> arc_to_edge;
-  FlowNetwork net = split_network(g, &arc_to_edge);
+  PushRelabel net = split_network(cert, &arc_to_edge);
   const auto flow = net.max_flow(out_vertex(s), in_vertex(t), count);
   if (flow < count) return std::nullopt;
+  net.convert_to_flow();  // flow_on needs a flow, not a preflow
 
   // Collect directed edges carrying flow and decompose into paths by
   // walking from s.  Vertex capacities are 1, so each internal vertex
@@ -251,23 +375,28 @@ std::optional<std::vector<NodeId>> minimum_vertex_cut(const Graph& g) {
   LHG_CHECK(g.num_nodes() > 0, "minimum vertex cut of the empty graph");
   if (is_complete(g)) return std::nullopt;
 
-  // Find the pair realizing κ (same probe set as vertex_connectivity),
-  // then read the cut off the residual network of that pair.
+  // Find the pair realizing κ (same probe set as vertex_connectivity).
+  // Probes run on a certificate at δ(G)+1 — one above any possible κ,
+  // so every probe value matches the full graph's.
   NodeId v = 0;
   for (NodeId u = 1; u < g.num_nodes(); ++u) {
     if (g.degree(u) < g.degree(v)) v = u;
   }
+  const Graph cert = sparse_certificate(g, g.degree(v) + 1);
+  ConnectivityProber prober(cert);
   std::int32_t best = g.degree(v) + 1;
   std::pair<NodeId, NodeId> best_pair{-1, -1};
   auto probe = [&](NodeId a, NodeId b) {
-    const auto c = local_vertex_connectivity(g, a, b, best);
+    const auto c = prober.vertex_probe(a, b, best);
     if (c < best) {
       best = c;
       best_pair = {a, b};
     }
   };
+  // v as the common sink, matching vertex_connectivity: the solver's
+  // sink-keyed label cache then serves every probe in this loop.
   for (NodeId w = 0; w < g.num_nodes(); ++w) {
-    if (w != v && !g.has_edge(v, w)) probe(v, w);
+    if (w != v && !g.has_edge(v, w)) probe(w, v);
   }
   const auto nbrs = g.neighbors(v);
   for (std::size_t i = 0; i < nbrs.size(); ++i) {
@@ -281,15 +410,17 @@ std::optional<std::vector<NodeId>> minimum_vertex_cut(const Graph& g) {
 
   // Recompute the flow with uncuttable edge arcs (the best pair is
   // non-adjacent by construction), so the min cut is split arcs only.
-  FlowNetwork net = split_network(g, nullptr,
-                                  static_cast<std::int64_t>(g.num_nodes()) + 1);
+  // The cut is read off the FULL graph, not the certificate: a
+  // certificate separator need not separate G.
+  PushRelabel net = split_network(
+      g, nullptr, static_cast<std::int64_t>(g.num_nodes()) + 1);
   net.max_flow(out_vertex(best_pair.first), in_vertex(best_pair.second));
-  const auto reachable = net.min_cut_source_side(out_vertex(best_pair.first));
+  const auto source_side = net.min_cut_source_side();
   std::vector<NodeId> cut;
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     // A vertex is in the cut iff its split arc crosses the residual cut.
-    if (reachable[static_cast<std::size_t>(in_vertex(u))] &&
-        !reachable[static_cast<std::size_t>(out_vertex(u))]) {
+    if (source_side[static_cast<std::size_t>(in_vertex(u))] &&
+        !source_side[static_cast<std::size_t>(out_vertex(u))]) {
       cut.push_back(u);
     }
   }

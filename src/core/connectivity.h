@@ -1,20 +1,37 @@
-// Exact vertex and edge connectivity via Menger's theorem and max-flow.
+// Exact vertex and edge connectivity: Nagamochi–Ibaraki sparse
+// certificates feeding capped push-relabel max-flow (Menger's theorem).
 //
 // The LHG definition is stated in terms of κ(G) (node connectivity, P1)
-// and λ(G) (link connectivity, P2).  Both are computed exactly:
+// and λ(G) (link connectivity, P2).  Both are computed exactly, in two
+// stages (DESIGN.md §15):
 //
-//  * λ(s,t) is a unit-capacity max-flow where every undirected edge
-//    becomes two opposing arcs of capacity 1.
-//  * κ(s,t) splits every vertex v into v_in → v_out with an arc of
-//    capacity 1 (Even's construction), so each internal vertex can carry
-//    at most one path.
-//  * Global values use the Even / Esfahanian–Hakimi style pruning: fix a
-//    minimum-degree vertex v, probe v against its non-neighbors, then
-//    probe pairs of v's neighbors — O(n + δ²) flow calls instead of
-//    O(n²).
+//  1. *Sparsify.*  Every query is capped — explicitly by the caller's
+//     `upper_limit`/`limit`, implicitly by δ(G) (for globals) or by
+//     min(deg(s), deg(t)) (for pairs), since no connectivity can exceed
+//     those.  A Nagamochi–Ibaraki certificate at that cap
+//     (core/certificate.h) preserves every answer that can still matter
+//     while shrinking m edges to ≤ cap·n.
+//  2. *Flow.*  On the certificate:
+//     λ(s,t) is a unit-capacity max-flow where every undirected edge
+//     becomes two opposing arcs of capacity 1; κ(s,t) splits every
+//     vertex v into v_in → v_out with an arc of capacity 1 (Even's
+//     construction).  Flows run on the reusable push-relabel solver
+//     (core/maxflow.h) with the cap as the release limit, so a yes/no
+//     question costs O(cap · certificate-size).
+//
+// Global values use the Even / Esfahanian–Hakimi pruning: fix a
+// minimum-degree vertex v, probe v against its non-neighbors, then
+// probe pairs of v's neighbors — O(n + δ²) flow calls instead of O(n²),
+// run through `core::parallel` with a shared upper bound whose pruning
+// is exact (see SharedUpperBound in the .cc), so results are
+// bit-identical at every LHG_THREADS.
 //
 // All global routines accept an `upper_limit` so that yes/no questions
-// ("is κ ≥ k?") stop each flow as soon as k augmenting paths exist.
+// ("is κ ≥ k?") stop each flow as soon as k augmenting paths exist —
+// and, equally important, certify at k instead of δ.  Callers that know
+// k (the verifier and repair pipelines always do) must pass it; debug
+// builds nudge with an LHG_DCHECK when a large graph is queried
+// uncapped.
 
 #pragma once
 
@@ -23,11 +40,37 @@
 #include <vector>
 
 #include "core/graph.h"
+#include "core/maxflow.h"
 
 namespace lhg::core {
 
+/// Reusable s-t connectivity prober over one fixed graph (typically a
+/// certificate): the κ and λ flow networks are built lazily on first
+/// use and then answer any number of capped queries with zero heap
+/// allocation, sharing one scratch.  Not thread-safe — parallel callers
+/// keep one prober per lane (core/parallel.h lane contract).
+class ConnectivityProber {
+ public:
+  /// Probes run against `g`, which must outlive the prober.
+  explicit ConnectivityProber(const Graph& g);
+
+  /// min(κ(s,t), limit): internally-vertex-disjoint s-t paths, counting
+  /// a direct {s,t} edge as one path.  Requires s != t.
+  std::int32_t vertex_probe(NodeId s, NodeId t, std::int32_t limit);
+
+  /// min(λ(s,t), limit): edge-disjoint s-t paths.  Requires s != t.
+  std::int32_t edge_probe(NodeId s, NodeId t, std::int32_t limit);
+
+ private:
+  const Graph* g_;
+  std::optional<PushRelabel> vertex_net_;  // Even's split network
+  std::optional<PushRelabel> edge_net_;    // two opposing unit arcs/edge
+  MaxflowScratch scratch_;
+};
+
 /// Number of edge-disjoint s-t paths (= min s-t edge cut), capped at
-/// `limit`.  Requires s != t.
+/// `limit`.  Requires s != t.  One-shot wrapper: sparsifies at
+/// min(limit, deg(s), deg(t)) and runs one capped flow.
 std::int32_t local_edge_connectivity(const Graph& g, NodeId s, NodeId t,
                                      std::int32_t limit = INT32_MAX);
 

@@ -201,7 +201,8 @@ class MemoryGateTests(unittest.TestCase):
         self.assertIsInstance(doc["budgets"], dict)
         self.assertGreater(len(doc["budgets"]), 0)
         for key, limit in doc["budgets"].items():
-            self.assertTrue(key.startswith("bench_scaling/"), key)
+            self.assertTrue(
+                key.startswith(("bench_scaling/", "bench_connectivity/")), key)
             self.assertGreater(limit, 0)
 
 

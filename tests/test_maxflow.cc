@@ -1,29 +1,38 @@
-// Unit tests for the Dinic max-flow engine.
+// Unit tests for the push-relabel max-flow engine, including the
+// reusable-query contract (one network, many (s, t, limit) questions)
+// and cross-checks against the retired Dinic reference
+// (core/testing/reference_flow.h).
 
 #include "core/maxflow.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
+#include <vector>
+
+#include "core/random_graphs.h"
+#include "core/rng.h"
+#include "core/testing/reference_flow.h"
 
 namespace lhg::core {
 namespace {
 
 TEST(MaxFlow, SingleArc) {
-  FlowNetwork net(2);
+  PushRelabel net(2);
   net.add_arc(0, 1, 5);
   EXPECT_EQ(net.max_flow(0, 1), 5);
 }
 
 TEST(MaxFlow, SeriesTakesMinimum) {
-  FlowNetwork net(3);
+  PushRelabel net(3);
   net.add_arc(0, 1, 7);
   net.add_arc(1, 2, 3);
   EXPECT_EQ(net.max_flow(0, 2), 3);
 }
 
 TEST(MaxFlow, ParallelPathsAdd) {
-  FlowNetwork net(4);
+  PushRelabel net(4);
   net.add_arc(0, 1, 2);
   net.add_arc(1, 3, 2);
   net.add_arc(0, 2, 3);
@@ -33,7 +42,7 @@ TEST(MaxFlow, ParallelPathsAdd) {
 
 TEST(MaxFlow, ClassicTextbookNetwork) {
   // CLRS figure: max flow 23.
-  FlowNetwork net(6);
+  PushRelabel net(6);
   net.add_arc(0, 1, 16);
   net.add_arc(0, 2, 13);
   net.add_arc(1, 2, 10);
@@ -50,7 +59,7 @@ TEST(MaxFlow, ClassicTextbookNetwork) {
 TEST(MaxFlow, RequiresResidualRerouting) {
   // The only max solution reroutes flow pushed greedily through the
   // middle arc.
-  FlowNetwork net(4);
+  PushRelabel net(4);
   net.add_arc(0, 1, 1);
   net.add_arc(0, 2, 1);
   net.add_arc(1, 2, 1);
@@ -60,52 +69,134 @@ TEST(MaxFlow, RequiresResidualRerouting) {
 }
 
 TEST(MaxFlow, LimitStopsEarly) {
-  FlowNetwork net(2);
+  PushRelabel net(2);
   net.add_arc(0, 1, 100);
   EXPECT_EQ(net.max_flow(0, 1, 7), 7);
+  EXPECT_EQ(net.max_flow(0, 1, 0), 0);
 }
 
 TEST(MaxFlow, DisconnectedIsZero) {
-  FlowNetwork net(3);
+  PushRelabel net(3);
   net.add_arc(0, 1, 4);
   EXPECT_EQ(net.max_flow(0, 2), 0);
 }
 
+TEST(MaxFlow, ReusableAcrossQueries) {
+  // The same solver answers many (source, sink, limit) questions; each
+  // call resets per-query state, so answers never depend on history.
+  PushRelabel net(4);
+  net.add_arc(0, 1, 2);
+  net.add_arc(1, 3, 2);
+  net.add_arc(0, 2, 3);
+  net.add_arc(2, 3, 3);
+  EXPECT_EQ(net.max_flow(0, 3), 5);
+  EXPECT_EQ(net.max_flow(0, 3), 5);     // repeat, same answer
+  EXPECT_EQ(net.max_flow(0, 3, 4), 4);  // capped repeat
+  EXPECT_EQ(net.max_flow(3, 0), 0);     // reverse direction: no arcs
+  EXPECT_EQ(net.max_flow(0, 1), 2);     // different sink
+  EXPECT_EQ(net.max_flow(0, 3), 5);     // back to the original query
+}
+
+TEST(MaxFlow, SharedScratchAcrossSolvers) {
+  MaxflowScratch scratch;
+  PushRelabel small(2);
+  small.add_arc(0, 1, 1);
+  PushRelabel large(5);
+  large.add_arc(0, 1, 3);
+  large.add_arc(1, 4, 2);
+  EXPECT_EQ(small.max_flow(0, 1, INT64_MAX, scratch), 1);
+  EXPECT_EQ(large.max_flow(0, 4, INT64_MAX, scratch), 2);
+  EXPECT_EQ(small.max_flow(0, 1, INT64_MAX, scratch), 1);
+}
+
 TEST(MaxFlow, FlowOnReportsPerArc) {
-  FlowNetwork net(3);
+  PushRelabel net(3);
   const auto a01 = net.add_arc(0, 1, 2);
   const auto a12 = net.add_arc(1, 2, 9);
   EXPECT_EQ(net.max_flow(0, 2), 2);
+  net.convert_to_flow();
   EXPECT_EQ(net.flow_on(a01), 2);
   EXPECT_EQ(net.flow_on(a12), 2);
   EXPECT_THROW(net.flow_on(99), std::invalid_argument);
 }
 
+TEST(MaxFlow, ConvertToFlowReturnsTrappedExcess) {
+  // A dead-end branch absorbs preflow that phase 2 must send back:
+  // 0 -> 1 (cap 5) with 1 -> 2 -> sink 3 the only way through (cap 1),
+  // plus a trap 1 -> 4 with no exit.
+  PushRelabel net(5);
+  const auto a01 = net.add_arc(0, 1, 5);
+  const auto a12 = net.add_arc(1, 2, 1);
+  const auto a23 = net.add_arc(2, 3, 1);
+  const auto a14 = net.add_arc(1, 4, 3);
+  EXPECT_EQ(net.max_flow(0, 3), 1);
+  net.convert_to_flow();
+  EXPECT_EQ(net.flow_on(a01), 1);
+  EXPECT_EQ(net.flow_on(a12), 1);
+  EXPECT_EQ(net.flow_on(a23), 1);
+  EXPECT_EQ(net.flow_on(a14), 0);  // trapped excess fully withdrawn
+}
+
 TEST(MaxFlow, MinCutSourceSide) {
-  FlowNetwork net(4);
+  PushRelabel net(4);
   net.add_arc(0, 1, 10);
   net.add_arc(1, 2, 1);  // the bottleneck
   net.add_arc(2, 3, 10);
   EXPECT_EQ(net.max_flow(0, 3), 1);
-  const auto side = net.min_cut_source_side(0);
+  const auto side = net.min_cut_source_side();
   EXPECT_TRUE(side[0]);
   EXPECT_TRUE(side[1]);
   EXPECT_FALSE(side[2]);
   EXPECT_FALSE(side[3]);
 }
 
+TEST(MaxFlow, MinCutValidAfterPhaseOneOnly) {
+  // Phase 1 leaves trapped excess on the dead-end branch; the cut read
+  // off sink-side reachability must still have capacity == flow value.
+  PushRelabel net(5);
+  net.add_arc(0, 1, 5);
+  net.add_arc(1, 2, 1);
+  net.add_arc(2, 3, 1);
+  net.add_arc(1, 4, 3);
+  EXPECT_EQ(net.max_flow(0, 3), 1);
+  const auto side = net.min_cut_source_side();
+  EXPECT_TRUE(side[0]);
+  // Cut capacity across (S, V-S) counting only forward arcs.
+  // Arcs: 0->1 (5), 1->2 (1), 2->3 (1), 1->4 (3).
+  struct Arc {
+    int u, v;
+    std::int64_t cap;
+  };
+  const std::vector<Arc> arcs{{0, 1, 5}, {1, 2, 1}, {2, 3, 1}, {1, 4, 3}};
+  std::int64_t crossing = 0;
+  for (const auto& a : arcs) {
+    if (side[static_cast<std::size_t>(a.u)] &&
+        !side[static_cast<std::size_t>(a.v)]) {
+      crossing += a.cap;
+    }
+  }
+  EXPECT_EQ(crossing, 1);
+}
+
 TEST(MaxFlow, Validation) {
-  EXPECT_THROW(FlowNetwork(-1), std::invalid_argument);
-  FlowNetwork net(2);
+  EXPECT_THROW(PushRelabel(-1), std::invalid_argument);
+  PushRelabel net(2);
   EXPECT_THROW(net.add_arc(0, 5, 1), std::invalid_argument);
   EXPECT_THROW(net.add_arc(0, 1, -1), std::invalid_argument);
+  EXPECT_THROW(net.add_arc(0, 1, std::int64_t{1} << 40),
+               std::invalid_argument);
+  EXPECT_THROW(net.convert_to_flow(), std::invalid_argument);
   EXPECT_THROW(net.max_flow(0, 0), std::invalid_argument);
   EXPECT_THROW(net.max_flow(0, 9), std::invalid_argument);
+  net.add_arc(0, 1, 1);
+  EXPECT_EQ(net.max_flow(0, 1), 1);
+  // The arc structure is frozen by the first query.
+  EXPECT_THROW(net.add_arc(1, 0, 1), std::invalid_argument);
 }
 
 TEST(MaxFlow, UnitBipartiteMatchingShape) {
   // 3x3 bipartite unit network, perfect matching = 3.
-  FlowNetwork net(8);  // 0 src, 1..3 left, 4..6 right, 7 sink
+  PushRelabel net(8);  // 0 src, 1..3 left, 4..6 right, 7 sink
   for (int l = 1; l <= 3; ++l) net.add_arc(0, l, 1);
   for (int r = 4; r <= 6; ++r) net.add_arc(r, 7, 1);
   net.add_arc(1, 4, 1);
@@ -113,6 +204,42 @@ TEST(MaxFlow, UnitBipartiteMatchingShape) {
   net.add_arc(2, 4, 1);
   net.add_arc(3, 6, 1);
   EXPECT_EQ(net.max_flow(0, 7), 3);
+}
+
+TEST(MaxFlow, AgreesWithDinicOnRandomNetworks) {
+  // Randomized cross-check against the reference Dinic: same arcs, same
+  // (s, t, limit) queries, identical values.  Capacities include 0 and
+  // repeats so degenerate arcs get exercised.
+  Rng rng(20260809);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::int32_t n =
+        4 + static_cast<std::int32_t>(rng.next_below(12));
+    const std::int32_t arcs =
+        static_cast<std::int32_t>(rng.next_below(60));
+    PushRelabel pr(n);
+    testing::ReferenceFlowNetwork dinic(n);
+    for (std::int32_t a = 0; a < arcs; ++a) {
+      const auto u = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      const auto v = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(n)));
+      if (u == v) continue;
+      const auto cap = static_cast<std::int64_t>(rng.next_below(7));
+      pr.add_arc(u, v, cap);
+      dinic.add_arc(u, v, cap);
+    }
+    const std::int32_t s = 0;
+    const std::int32_t t = n - 1;
+    const std::int64_t full = pr.max_flow(s, t);
+    {
+      testing::ReferenceFlowNetwork fresh = dinic;
+      ASSERT_EQ(full, fresh.max_flow(s, t)) << "trial " << trial;
+    }
+    // Capped query, run on the SAME push-relabel solver (reset path).
+    const std::int64_t limit = static_cast<std::int64_t>(rng.next_below(5));
+    const std::int64_t capped = pr.max_flow(s, t, limit);
+    ASSERT_EQ(capped, std::min(full, limit)) << "trial " << trial;
+  }
 }
 
 }  // namespace
