@@ -36,6 +36,7 @@ ReliableBroadcastResult reliable_broadcast(const core::Graph& topology,
   backoff.max = cfg.backoff_max;
   backoff.jitter = cfg.backoff_jitter;
   backoff.max_retries = cfg.max_retries;
+  backoff.persist_when_blocked = cfg.persist_when_blocked;
   ReliableLink link(net, backoff, rng);
   link.set_obs(obs_rt.obs());
 

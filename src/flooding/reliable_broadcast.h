@@ -48,6 +48,11 @@ struct ReliableBroadcastConfig {
   /// Multiplicative retry jitter in [0, 1); 0 keeps retries aligned
   /// (and consumes no Rng draws).
   double backoff_jitter = 0.0;
+  /// Keep retry timers alive when a send is refused outright (link
+  /// down, partition) instead of abandoning the copy — required for
+  /// delivery across transient partition windows
+  /// (BackoffPolicy::persist_when_blocked).
+  bool persist_when_blocked = false;
 
   /// Metrics / trace recording (off by default: zero overhead).
   obs::ObsConfig obs{};

@@ -4,6 +4,7 @@
 
 #include "core/check.h"
 #include "core/connectivity.h"
+#include "membership/incremental.h"
 
 namespace lhg::flooding {
 
@@ -11,14 +12,21 @@ using core::NodeId;
 
 namespace {
 
-// View-change payload on the reliable layer: bit 0 = kind (0 a node
-// went down, 1 a node came back), the rest the node id.
-constexpr std::int64_t vc_payload(NodeId node, bool up) {
-  return (static_cast<std::int64_t>(node) << 1) | (up ? 1 : 0);
+// View-change payload on the reliable layer, packed into the 45
+// payload bits ReliableLink exposes: bit 0 = kind (0 a node went down,
+// 1 it asserts aliveness), bits 1..32 the node id, bits 33+ the
+// rumor's epoch (12 bits — a node's epoch moves only on rejoin
+// announcements and self-rebuttals, far fewer than 4096 per run).
+constexpr std::int64_t vc_payload(NodeId node, std::int32_t epoch, bool up) {
+  return (static_cast<std::int64_t>(epoch) << 33) |
+         (static_cast<std::int64_t>(node) << 1) | (up ? 1 : 0);
 }
 constexpr bool vc_is_up(std::int64_t payload) { return (payload & 1) != 0; }
 constexpr NodeId vc_node(std::int64_t payload) {
-  return static_cast<NodeId>(payload >> 1);
+  return static_cast<NodeId>((payload >> 1) & 0xffffffff);
+}
+constexpr std::int32_t vc_epoch(std::int64_t payload) {
+  return static_cast<std::int32_t>(payload >> 33);
 }
 
 /// One underlay REQ/ACK handshake for a target edge the overlay lacks.
@@ -54,11 +62,16 @@ struct RepairSim {
   std::vector<std::uint8_t> suspected;
   std::vector<double> first_suspect;
 
-  // Per-node disseminated view: down/up-seen bitsets (w * n + x),
-  // the count of permanent crashes currently in the view, and whether
-  // the node already kicked off its handshakes.
+  // Per-node disseminated view: the down bitset and the highest rumor
+  // epoch accepted per (observer, subject) pair (both w * n + x), the
+  // count of permanent crashes currently in the view, and whether the
+  // node already kicked off its handshakes.  Epochs order rumors about
+  // one subject: an aliveness assertion carries a strictly larger
+  // epoch than every obituary it refutes, so stale down rumors cannot
+  // resurrect a rebutted view entry.
   std::vector<std::uint8_t> down_view;
-  std::vector<std::uint8_t> up_seen;
+  std::vector<std::int32_t> epoch_seen;
+  std::vector<std::int32_t> self_epoch;  // per node: epoch of its last assert
   std::vector<std::int32_t> match;
   std::vector<std::uint8_t> initiated;
 
@@ -79,7 +92,8 @@ struct RepairSim {
         suspected(static_cast<std::size_t>(graph.num_arcs()), 0),
         first_suspect(n, -1.0),
         down_view(n * n, 0),
-        up_seen(n * n, 0),
+        epoch_seen(n * n, 0),
+        self_epoch(n, 0),
         match(n, 0),
         initiated(n, 0) {
     sim.set_obs(obs);
@@ -144,7 +158,9 @@ struct RepairSim {
             obs->event(sim.now(), obs::TraceKind::kSuspicion, observer, target,
                        false_alarm ? 1 : 0);
           }
-          learn_down(observer, target, /*relay_except=*/-1);
+          learn_down(observer, target,
+                     epoch_seen[static_cast<std::size_t>(observer) * n + t],
+                     /*relay_except=*/-1);
         });
   }
 
@@ -172,63 +188,88 @@ struct RepairSim {
     }
   }
 
-  void learn_down(NodeId w, NodeId x, NodeId relay_except) {
-    auto& flag = down_view[static_cast<std::size_t>(w) * n +
-                           static_cast<std::size_t>(x)];
+  // An obituary is accepted unless a strictly newer epoch already
+  // rebutted it; a duplicate at the current epoch is dropped.
+  void learn_down(NodeId w, NodeId x, std::int32_t epoch, NodeId relay_except) {
+    const std::size_t wx =
+        static_cast<std::size_t>(w) * n + static_cast<std::size_t>(x);
+    if (epoch < epoch_seen[wx]) return;  // already rebutted at a later epoch
+    auto& flag = down_view[wx];
     if (flag != 0) return;
+    epoch_seen[wx] = epoch;
     flag = 1;
     if (in_perm[static_cast<std::size_t>(x)] != 0) {
       ++match[static_cast<std::size_t>(w)];
     }
-    relay(w, relay_except, vc_payload(x, /*up=*/false));
+    relay(w, relay_except, vc_payload(x, epoch, /*up=*/false));
     check_view(w);
   }
 
-  void learn_up(NodeId w, NodeId r, NodeId relay_except) {
-    auto& seen =
-        up_seen[static_cast<std::size_t>(w) * n + static_cast<std::size_t>(r)];
-    if (seen != 0) return;
-    seen = 1;
-    auto& flag = down_view[static_cast<std::size_t>(w) * n +
-                           static_cast<std::size_t>(r)];
+  // An aliveness assertion wins iff its epoch is strictly newer than
+  // anything heard about the subject — assertions always carry a fresh
+  // epoch, so echoes and duplicates drop here.
+  void learn_up(NodeId w, NodeId r, std::int32_t epoch, NodeId relay_except) {
+    const std::size_t wr =
+        static_cast<std::size_t>(w) * n + static_cast<std::size_t>(r);
+    if (epoch <= epoch_seen[wr]) return;
+    epoch_seen[wr] = epoch;
+    auto& flag = down_view[wr];
     if (flag != 0) {
       flag = 0;
       if (in_perm[static_cast<std::size_t>(r)] != 0) {
         --match[static_cast<std::size_t>(w)];
       }
     }
-    relay(w, relay_except, vc_payload(r, /*up=*/true));
+    relay(w, relay_except, vc_payload(r, epoch, /*up=*/true));
   }
 
   void on_deliver(NodeId self, NodeId from, std::int64_t payload) {
     const NodeId x = vc_node(payload);
+    const std::int32_t epoch = vc_epoch(payload);
     if (!vc_is_up(payload)) {
-      learn_down(self, x, from);
+      if (x == self) {
+        // A live node hearing its own obituary refutes it with a
+        // strictly newer epoch (once per obituary epoch: the flood's
+        // duplicate copies arrive stale and drop here).
+        if (epoch >= self_epoch[static_cast<std::size_t>(x)]) {
+          self_epoch[static_cast<std::size_t>(x)] = epoch;
+          ++res.self_rebuttals;
+          announce_alive(self);
+        }
+        return;
+      }
+      learn_down(self, x, epoch, from);
       return;
     }
-    // A rejoin heard directly from the rejoiner triggers a state
+    // An assertion heard directly from a rejoiner triggers a state
     // transfer: the neighbor replays its current down-view so the
     // recovered node (which lost all protocol state) catches up.
     const bool direct =
-        from == x && up_seen[static_cast<std::size_t>(self) * n +
-                             static_cast<std::size_t>(x)] == 0;
-    learn_up(self, x, from);
+        from == x && epoch > epoch_seen[static_cast<std::size_t>(self) * n +
+                                        static_cast<std::size_t>(x)];
+    learn_up(self, x, epoch, from);
     if (direct) {
       const std::int32_t arc = g.arc_index(self, from);
       for (std::size_t y = 0; y < n; ++y) {
         if (down_view[static_cast<std::size_t>(self) * n + y] != 0) {
           link.send_arc(self, from, arc,
-                        vc_payload(static_cast<NodeId>(y), /*up=*/false));
+                        vc_payload(static_cast<NodeId>(y),
+                                   epoch_seen[static_cast<std::size_t>(self) * n + y],
+                                   /*up=*/false));
           ++res.view_change_messages;
         }
       }
     }
   }
 
-  void announce_rejoin(NodeId r) {
+  // Floods an epoch'd aliveness assertion from r: the rejoin
+  // announcement and the false-obituary self-rebuttal are the same
+  // flood.
+  void announce_alive(NodeId r) {
     if (!net.is_alive(r)) return;
-    up_seen[static_cast<std::size_t>(r) * n + static_cast<std::size_t>(r)] = 1;
-    relay(r, /*except=*/-1, vc_payload(r, /*up=*/true));
+    auto& e = self_epoch[static_cast<std::size_t>(r)];
+    ++e;
+    learn_up(r, r, e, /*relay_except=*/-1);
   }
 
   void check_view(NodeId w) {
@@ -355,7 +396,30 @@ RepairResult run_repair(const core::Graph& topology, const RepairConfig& cfg,
     if (e >= 0) link_dead[static_cast<std::size_t>(e)] = 1;
   }
 
-  const core::Graph target = lhg::build(n_surv, cfg.k, cfg.constraint);
+  // The rewiring target.  When the in-service size is itself
+  // LHG-realizable, the incremental membership engine produces it:
+  // member ids are the original node ids, the permanent crashes
+  // batch-leave, and member_graph() is the canonical overlay for the
+  // survivors *under stable identities* — survivors keep every edge
+  // the plan delta preserves, so edges_needed is the O(k·log n) delta,
+  // not a Θ(n) relabeled diff.  (member_graph densifies by ascending
+  // member id, which is exactly the survivors[] order.)  Otherwise —
+  // the overlay in service was never a canonical LHG size — fall back
+  // to the dense rebuild target over sorted survivor ids.
+  core::Graph target;
+  if (lhg::exists(num, cfg.k, cfg.constraint)) {
+    membership::IncrementalOverlay inc(num, cfg.k, cfg.constraint);
+    std::vector<membership::MemberId> leavers;
+    for (NodeId u = 0; u < num; ++u) {
+      if (s.in_perm[static_cast<std::size_t>(u)] != 0) leavers.push_back(u);
+    }
+    const membership::MemberDelta delta = inc.apply_batch(leavers, 0);
+    s.res.target_churn = delta.total();
+    target = inc.member_graph();
+  } else {
+    s.res.target_churn = -1;
+    target = lhg::build(n_surv, cfg.k, cfg.constraint);
+  }
   for (const core::Edge& e : target.edges()) {
     const NodeId u = survivors[static_cast<std::size_t>(e.u)];
     const NodeId v = survivors[static_cast<std::size_t>(e.v)];
@@ -393,7 +457,7 @@ RepairResult run_repair(const core::Graph& topology, const RepairConfig& cfg,
   // plan's recover event at the same timestamp runs first).
   for (const NodeRecovery& r : plan.recoveries) {
     s.sim.schedule_at(std::max(r.time, 0.0),
-                      [&s, node = r.node] { s.announce_rejoin(node); });
+                      [&s, node = r.node] { s.announce_alive(node); });
   }
 
   // With no permanent crash to wait for, views are trivially complete:
@@ -425,6 +489,20 @@ RepairResult run_repair(const core::Graph& topology, const RepairConfig& cfg,
       break;
     }
     res.detection_time = std::max(res.detection_time, s.first_suspect[i]);
+  }
+
+  // False obituaries still standing at quiescence: observer and
+  // subject both in the final membership, yet the observer's view
+  // marks the subject down.  Epoch'd self-rebuttal keeps this at 0.
+  for (NodeId w = 0; w < num; ++w) {
+    if (s.in_perm[static_cast<std::size_t>(w)] != 0) continue;
+    for (NodeId x = 0; x < num; ++x) {
+      if (s.in_perm[static_cast<std::size_t>(x)] != 0) continue;
+      if (s.down_view[static_cast<std::size_t>(w) * n +
+                      static_cast<std::size_t>(x)] != 0) {
+        ++res.lingering_false_obituaries;
+      }
+    }
   }
 
   // The healed overlay: surviving original edges (dead links excluded)

@@ -19,23 +19,34 @@
 //      same way and are brought up to date by a neighbor state
 //      transfer.
 //   3. Rewiring — once a survivor's disseminated view covers the
-//      adversary's permanent crashes, it computes the target overlay
-//      lhg::build(|survivors|, k) over the sorted survivor ids and, for
-//      every target edge it must initiate (lower id) that the surviving
-//      overlay lacks, runs a REQ/ACK handshake over the *underlay*
+//      adversary's permanent crashes, it rewires toward the
+//      identity-stable incremental target: the in-service overlay is
+//      seeded into a membership::IncrementalOverlay (member ids ==
+//      original node ids) and the permanent crashes batch-leave, so
+//      survivors keep every edge the canonical plan delta preserves
+//      and only the O(k·log n) delta edges need establishing — not the
+//      Θ(n) relabeled diff of a fresh lhg::build.  For every target
+//      edge a survivor must initiate (lower id) that the surviving
+//      overlay lacks, it runs a REQ/ACK handshake over the *underlay*
 //      (point-to-point, assumed routable, configurable latency and
 //      loss) with exponential-backoff retries.  Handshakes persist
 //      through a peer's down window, which is how recovered nodes are
 //      re-adopted.
 //
+// False suspicions rebut themselves: every view-change rumor carries
+// the subject's *epoch*, and a live node that hears its own obituary
+// floods an aliveness assertion under a strictly larger epoch (the
+// same announcement a recovered node makes), which clears the false
+// obituary from every view — stale down rumors lose to the newer
+// epoch instead of resurrecting it.  The result counts the rebuttals
+// and any obituaries of final members still standing at quiescence
+// (`lingering_false_obituaries`, 0 in healthy runs).
+//
 // Modeling simplifications, stated honestly: the repair target is the
 // overlay for the *final* membership (nodes alive once the failure
 // plan is exhausted), and survivors act when their view has converged
 // to it — a real deployment would re-run the rewiring on every view
-// change; the converged round is the one instrumented here.  Nodes
-// falsely suspected (flapped links, partitions) may linger in views;
-// convergence only requires the permanent crashes to be known, so a
-// false obituary delays nothing and the node keeps its edges.
+// change; the converged round is the one instrumented here.
 //
 // The result reports detection / reconnect times, message costs split
 // by phase, and the verifier's judgment of the healed survivor graph's
@@ -110,6 +121,18 @@ struct RepairResult {
   /// Underlay REQ + ACK transmissions (including retries).
   std::int64_t handshake_messages = 0;
   std::int64_t false_suspicions = 0;
+  /// Live nodes that heard their own obituary and flooded an epoch'd
+  /// aliveness assertion to refute it (counted per rebuttal flood).
+  std::int64_t self_rebuttals = 0;
+  /// (observer, subject) pairs, both in the final membership, where the
+  /// observer's view still marks the subject down at quiescence.  A
+  /// false obituary that was never rebutted; 0 in healthy runs.
+  std::int64_t lingering_false_obituaries = 0;
+  /// |added| + |removed| of the incremental membership delta that
+  /// produced the rewiring target — the O(k·log n) work the final view
+  /// implies.  -1 when the in-service overlay's size is not
+  /// LHG-realizable and the dense rebuild target was used instead.
+  std::int64_t target_churn = 0;
   /// View-change frames abandoned by the reliable layer's sliding send
   /// window (see ReliableLink::window_overflows); 0 in healthy runs.
   std::int64_t window_overflows = 0;

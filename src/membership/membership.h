@@ -11,8 +11,9 @@
 // edge sets under the canonical labeling (interiors first by copy, then
 // shared leaves, then unshared groups).  Because labels shift when the
 // tree shape changes, this is an upper bound on the rewiring a
-// deployment with stable node identities would need; EXPERIMENTS.md
-// discusses the gap.
+// deployment with stable node identities would need; the
+// identity-stable protocol that wins the gap back is
+// membership/incremental.h, and EXPERIMENTS.md (E11) measures both.
 
 #pragma once
 

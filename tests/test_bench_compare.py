@@ -202,7 +202,8 @@ class MemoryGateTests(unittest.TestCase):
         self.assertGreater(len(doc["budgets"]), 0)
         for key, limit in doc["budgets"].items():
             self.assertTrue(
-                key.startswith(("bench_scaling/", "bench_connectivity/")), key)
+                key.startswith(("bench_scaling/", "bench_connectivity/",
+                                "bench_churn/")), key)
             self.assertGreater(limit, 0)
 
 

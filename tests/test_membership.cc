@@ -119,6 +119,54 @@ TEST(Overlay, GrowingAcrossAStrictJdGapViaResize) {
   }
 }
 
+// --- Satellite: throw parity with lhg::build at constraint boundaries.
+//
+// At every size in a sweep across all three constraints,
+// can_grow/can_shrink must agree with lhg::exists for the neighboring
+// sizes, a refused change must throw exactly when lhg::build(n±1)
+// would, and a throw must leave the overlay untouched.
+TEST(Overlay, ThrowParityWithBuildAtBoundarySizes) {
+  struct Case {
+    Constraint c;
+    std::int32_t k;
+    core::NodeId lo;
+    core::NodeId hi;
+  };
+  const Case kCases[] = {
+      {Constraint::kKTree, 3, 6, 40},
+      {Constraint::kKTree, 4, 8, 40},
+      {Constraint::kKDiamond, 3, 9, 40},
+      {Constraint::kKDiamond, 4, 12, 44},
+      {Constraint::kStrictJD, 3, 6, 40},
+  };
+  for (const Case& cs : kCases) {
+    for (core::NodeId n = cs.lo; n <= cs.hi; ++n) {
+      SCOPED_TRACE(testing::Message()
+                   << to_string(cs.c) << " k=" << cs.k << " n=" << n);
+      if (!exists(n, cs.k, cs.c)) {
+        // Construction refuses exactly the sizes build refuses.
+        EXPECT_THROW(build(n, cs.k, cs.c), std::invalid_argument);
+        EXPECT_THROW(Overlay(n, cs.k, cs.c), std::invalid_argument);
+        continue;
+      }
+      Overlay overlay(n, cs.k, cs.c);
+      EXPECT_EQ(overlay.can_grow(), exists(n + 1, cs.k, cs.c));
+      EXPECT_EQ(overlay.can_shrink(), exists(n - 1, cs.k, cs.c));
+      if (!overlay.can_grow()) {
+        EXPECT_THROW(overlay.add_node(), std::invalid_argument);
+      }
+      if (!overlay.can_shrink()) {
+        EXPECT_THROW(overlay.remove_node(), std::invalid_argument);
+      }
+      // A refused change left no trace.
+      EXPECT_EQ(overlay.size(), n);
+      EXPECT_EQ(overlay.generations(), 0);
+      EXPECT_EQ(overlay.cumulative_churn(), 0);
+      EXPECT_EQ(overlay.graph(), build(n, cs.k, cs.c));
+    }
+  }
+}
+
 TEST(Overlay, ChurnIsBoundedByBothEdgeSets) {
   Overlay overlay(40, 4);
   const auto before_edges = overlay.graph().num_edges();

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "core/connectivity.h"
@@ -124,6 +125,90 @@ TEST(Repair, RecoveredNodeRejoinsInsteadOfBeingReplaced) {
       std::find(res.survivor_ids.begin(), res.survivor_ids.end(), 11) -
       res.survivor_ids.begin());
   EXPECT_GE(res.healed.degree(dense_11), 3);
+}
+
+// --- Satellite: a falsely-suspected survivor rebuts its own obituary.
+//
+// A link flap long enough to trip the suspicion timeout used to leave
+// the flapped node marked down in peers' views forever (the gap the
+// old "Modeling simplifications" paragraph documented).  With epoch'd
+// self-rebuttal the node floods a fresh aliveness assertion the moment
+// it hears its own obituary: the false suspicion must end in rejoin,
+// not permanent eviction.
+TEST(Repair, FalselySuspectedSurvivorRebutsAndStays) {
+  const auto g = lhg::build(20, 3);
+  FailurePlan plan;
+  plan.crashes.push_back({.node = 7, .time = 2.0});  // one real crash
+  // A surviving link flaps for 6 s — far past the 3.5 s suspicion
+  // timeout — so each endpoint falsely suspects the other and floods
+  // an obituary of a live node.
+  core::Edge flapped{};
+  for (const core::Edge& e : g.edges()) {
+    if (e.u != 7 && e.v != 7) {
+      flapped = e;
+      break;
+    }
+  }
+  plan.flaps.push_back({.link = flapped, .down = 2.0, .up = 8.0});
+
+  RepairConfig cfg;
+  cfg.k = 3;
+  cfg.horizon = 80.0;
+  const auto res = run_repair(g, cfg, plan);
+
+  // The false suspicion really happened, the suspects rebutted it, and
+  // no survivor still holds an obituary of another survivor.
+  EXPECT_GE(res.false_suspicions, 1);
+  EXPECT_GE(res.self_rebuttals, 1);
+  EXPECT_EQ(res.lingering_false_obituaries, 0);
+  // Both flap endpoints remain members, and the overlay still heals
+  // around the one real crash.
+  for (const NodeId endpoint : {flapped.u, flapped.v}) {
+    EXPECT_TRUE(std::find(res.survivor_ids.begin(), res.survivor_ids.end(),
+                          endpoint) != res.survivor_ids.end())
+        << "endpoint " << endpoint;
+  }
+  EXPECT_TRUE(res.repaired);
+  EXPECT_TRUE(res.k_connected);
+}
+
+// The phase-3 target is identity-stable: survivors keep every edge the
+// canonical plan delta preserves, so one crash costs the O(k·log n)
+// delta — not the dense rebuild-and-diff that relabels every id above
+// the leaver's and rewires hundreds of edges.
+TEST(Repair, IncrementalTargetKeepsRewiringLogarithmic) {
+  constexpr NodeId kN = 96;
+  constexpr std::int32_t kK = 4;
+  constexpr NodeId kCrashed = 17;  // mid-range id: worst case for relabeling
+  const auto g = lhg::build(kN, kK);
+  FailurePlan plan;
+  plan.crashes.push_back({.node = kCrashed, .time = 2.0});
+
+  RepairConfig cfg;
+  cfg.k = kK;
+  const auto res = run_repair(g, cfg, plan);
+
+  EXPECT_TRUE(res.repaired);
+  EXPECT_TRUE(res.k_connected);
+  // The incremental delta is within the advertised c·k·log₂n (c = 2),
+  // and the handshakes never exceed its added half.
+  EXPECT_GE(res.target_churn, 0);
+  EXPECT_LE(res.target_churn,
+            static_cast<std::int64_t>(2.0 * kK * std::log2(kN)));
+  EXPECT_LE(res.edges_needed, res.target_churn);
+
+  // The dense rebuild-and-diff target for the same crash (the old
+  // phase 3): lhg::build(n-1) over survivor ids shifted past the
+  // leaver.  It misses many times more edges than the incremental
+  // target does.
+  const auto dense = lhg::build(kN - 1, kK);
+  std::int64_t dense_needed = 0;
+  for (const core::Edge& e : dense.edges()) {
+    const NodeId u = e.u < kCrashed ? e.u : e.u + 1;
+    const NodeId v = e.v < kCrashed ? e.v : e.v + 1;
+    if (!g.has_edge(u, v)) ++dense_needed;
+  }
+  EXPECT_GE(dense_needed, 4 * std::max<std::int64_t>(res.edges_needed, 1));
 }
 
 TEST(Repair, SurvivesLossyChannelsDuringRepair) {
