@@ -17,6 +17,8 @@
 
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -132,22 +134,89 @@ FailurePlan adversarial_chaos(const core::Graph& g, std::int32_t count,
                               double crash_time, double partition_start,
                               double partition_end);
 
+namespace detail {
+
+/// Pairs each recovery with the earliest still-unmatched crash of the
+/// same node strictly before it (composed plans then behave as the
+/// union of their down windows).  Returns, per recovery index, the
+/// paired crash index or npos; `paired[crash]` marks consumed crashes.
+inline std::vector<std::size_t> pair_crash_recoveries(
+    const std::vector<NodeCrash>& crashes,
+    const std::vector<NodeRecovery>& recoveries) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> crash_of(recoveries.size(), npos);
+  // Recoveries in (time, index) order claim crashes in (time, index)
+  // order per node; plans are small, so the quadratic scan is fine.
+  std::vector<std::size_t> rec_order(recoveries.size());
+  for (std::size_t i = 0; i < rec_order.size(); ++i) rec_order[i] = i;
+  std::sort(rec_order.begin(), rec_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (recoveries[a].time != recoveries[b].time) {
+                return recoveries[a].time < recoveries[b].time;
+              }
+              return a < b;
+            });
+  std::vector<std::uint8_t> crash_used(crashes.size(), 0);
+  for (const std::size_t r : rec_order) {
+    if (recoveries[r].time <= 0.0) continue;  // immediate: no window
+    std::size_t best = npos;
+    for (std::size_t c = 0; c < crashes.size(); ++c) {
+      if (crash_used[c] != 0 || crashes[c].node != recoveries[r].node ||
+          crashes[c].time >= recoveries[r].time) {
+        continue;
+      }
+      if (best == npos || crashes[c].time < crashes[best].time) best = c;
+    }
+    if (best != npos) {
+      crash_used[best] = 1;
+      crash_of[r] = best;
+    }
+  }
+  return crash_of;
+}
+
+}  // namespace detail
+
 /// Applies `plan` to a live network: entries with time <= 0 fire
 /// immediately (before the first protocol event), later ones are
 /// scheduled at their absolute times.  Works with any overlay the
-/// network is parameterized over (plans only address nodes and links).
-template <typename Topology>
-void apply_failure_plan(BasicNetwork<Topology>& net,
-                        const FailurePlan& plan) {
-  for (const NodeCrash& crash : plan.crashes) {
-    if (crash.time <= 0.0) {
+/// network is parameterized over (plans only address nodes and links),
+/// and with either network engine — `Net` is any type exposing the
+/// BasicNetwork mutator surface (`ShardedNetwork` mirrors it; its timed
+/// mutators schedule control events instead of callbacks, shard_net.h).
+///
+/// Timed windows are overlap-safe: each recovery is paired with the
+/// earliest preceding crash of its node and each flap restore with its
+/// own failure, both epoch-guarded (network.h), so composed plans whose
+/// windows overlap keep state down until the *latest* window ends
+/// instead of letting the first window's end-event revive it; the same
+/// guard protects partition windows from stale clears.
+template <typename Net>
+void apply_failure_plan(Net& net, const FailurePlan& plan) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  const std::vector<std::size_t> crash_of =
+      detail::pair_crash_recoveries(plan.crashes, plan.recoveries);
+  std::vector<std::size_t> crash_window(plan.crashes.size(), npos);
+  std::vector<std::uint8_t> crash_paired(plan.crashes.size(), 0);
+  for (const std::size_t c : crash_of) {
+    if (c != npos) crash_paired[c] = 1;
+  }
+  for (std::size_t c = 0; c < plan.crashes.size(); ++c) {
+    const NodeCrash& crash = plan.crashes[c];
+    if (crash_paired[c] != 0) {
+      crash_window[c] = net.crash_windowed(crash.node, crash.time);
+    } else if (crash.time <= 0.0) {
       net.crash_now(crash.node);
     } else {
       net.crash_at(crash.node, crash.time);
     }
   }
-  for (const NodeRecovery& recovery : plan.recoveries) {
-    if (recovery.time <= 0.0) {
+  for (std::size_t r = 0; r < plan.recoveries.size(); ++r) {
+    const NodeRecovery& recovery = plan.recoveries[r];
+    if (crash_of[r] != npos) {
+      net.recover_windowed(recovery.node, recovery.time,
+                           crash_window[crash_of[r]]);
+    } else if (recovery.time <= 0.0) {
       net.recover_now(recovery.node);
     } else {
       net.recover_at(recovery.node, recovery.time);
@@ -163,18 +232,13 @@ void apply_failure_plan(BasicNetwork<Topology>& net,
   for (const LinkFlap& flap : plan.flaps) {
     LHG_CHECK(flap.down < flap.up, "flap: empty window [{}, {})", flap.down,
               flap.up);
-    if (flap.down <= 0.0) {
-      net.fail_link_now(flap.link.u, flap.link.v);
-    } else {
-      net.fail_link_at(flap.link.u, flap.link.v, flap.down);
-    }
-    net.restore_link_at(flap.link.u, flap.link.v, flap.up);
+    const std::size_t w =
+        net.fail_link_windowed(flap.link.u, flap.link.v, flap.down);
+    net.restore_link_windowed(flap.link.u, flap.link.v, flap.up, w);
   }
   for (const PartitionWindow& window : plan.partitions) {
     if (window.start <= 0.0) {
-      net.set_partition(window.side);
-      net.simulator().schedule_at(window.end,
-                                  [&net] { net.clear_partition(); });
+      net.partition_until(window.side, window.end);
     } else {
       net.partition_during(window.side, window.start, window.end);
     }

@@ -223,8 +223,12 @@ class BasicNetwork final : private Simulator::DeliverSink {
 
   /// Crashes `node` immediately (fail-stop; in-flight messages *from* it
   /// sent before the crash still arrive, later sends are dropped).
+  /// Every call — including one on an already-crashed node — advances
+  /// the node's crash epoch, so pending windowed recoveries for earlier
+  /// crashes of the node are invalidated (see `crash_windowed`).
   void crash_now(core::NodeId node) {
     LHG_CHECK_RANGE(node, topology_->num_nodes());
+    bump_crash_epoch(node);
     if (crashed_[static_cast<std::size_t>(node)] == 0) {
       crashed_[static_cast<std::size_t>(node)] = 1;
       --alive_count_;
@@ -257,15 +261,75 @@ class BasicNetwork final : private Simulator::DeliverSink {
     sim_->schedule_at(at, [this, node] { recover_now(node); });
   }
 
+  /// Overlap-safe crash/recovery window.  Crashes `node` at `down`
+  /// (immediately when down <= 0) and returns a window token; the
+  /// matching `recover_windowed(node, up, token)` recovers the node at
+  /// `up` only if this window's crash is still the node's most recent
+  /// one.  A later crash — from another window or a direct
+  /// `crash_now` — advances the epoch, so the stale recovery becomes a
+  /// no-op instead of reviving a node someone else just took down.
+  std::size_t crash_windowed(core::NodeId node, double down) {
+    const std::size_t w = new_window();
+    if (down <= 0.0) {
+      crash_now(node);
+      window_epoch_[w] = crash_epoch_of(node);
+    } else {
+      sim_->schedule_at(down, [this, node, w] {
+        crash_now(node);
+        window_epoch_[w] = crash_epoch_of(node);
+      });
+    }
+    return w;
+  }
+  void recover_windowed(core::NodeId node, double up, std::size_t window) {
+    LHG_CHECK(window < window_epoch_.size(),
+              "recover_windowed: bad window token {}", window);
+    sim_->schedule_at(up, [this, node, w = window] {
+      if (crash_epoch_of(node) == window_epoch_[w]) recover_now(node);
+    });
+  }
+
   /// Fails the link {u, v} immediately / at time `at`.  Messages in
-  /// flight on the link at failure time are lost.
+  /// flight on the link at failure time are lost.  Like `crash_now`,
+  /// every call advances the link's failure epoch, invalidating pending
+  /// windowed restores from earlier failure windows.
   void fail_link_now(core::NodeId u, core::NodeId v) {
     const std::int32_t link = topology_->edge_index(u, v);
     LHG_CHECK(link >= 0, "fail_link: ({}, {}) not a link", u, v);
+    bump_link_epoch(link);
     link_failed_[static_cast<std::size_t>(link)] = 1;
   }
   void fail_link_at(core::NodeId u, core::NodeId v, double at) {
     sim_->schedule_at(at, [this, u, v] { fail_link_now(u, v); });
+  }
+
+  /// Overlap-safe link flap window, mirroring `crash_windowed`: the
+  /// restore at `up` fires only while this window's failure is still the
+  /// link's most recent one.
+  std::size_t fail_link_windowed(core::NodeId u, core::NodeId v, double down) {
+    const std::int32_t link = topology_->edge_index(u, v);
+    LHG_CHECK(link >= 0, "fail_link: ({}, {}) not a link", u, v);
+    const std::size_t w = new_window();
+    if (down <= 0.0) {
+      bump_link_epoch(link);
+      link_failed_[static_cast<std::size_t>(link)] = 1;
+      window_epoch_[w] = link_epoch_of(link);
+    } else {
+      sim_->schedule_at(down, [this, u, v, w] {
+        fail_link_now(u, v);
+        window_epoch_[w] = link_epoch_of(topology_->edge_index(u, v));
+      });
+    }
+    return w;
+  }
+  void restore_link_windowed(core::NodeId u, core::NodeId v, double up,
+                             std::size_t window) {
+    LHG_CHECK(window < window_epoch_.size(),
+              "restore_link_windowed: bad window token {}", window);
+    sim_->schedule_at(up, [this, u, v, w = window] {
+      const std::int32_t link = topology_->edge_index(u, v);
+      if (link_epoch_of(link) == window_epoch_[w]) restore_link_now(u, v);
+    });
   }
 
   /// Brings a failed link back up (a "flap" is fail_link_at + this).
@@ -282,7 +346,9 @@ class BasicNetwork final : private Simulator::DeliverSink {
   /// Activates a bipartition: `side` maps every node to 0 or 1, and
   /// while active every transmission whose endpoints disagree is
   /// blocked at send time and dropped at delivery time.  One partition
-  /// is active at a time (a new call replaces the old cut).
+  /// is active at a time (a new call replaces the old cut and advances
+  /// the partition epoch, invalidating scheduled window clears for the
+  /// replaced cut).
   void set_partition(std::vector<std::uint8_t> side) {
     LHG_CHECK(static_cast<core::NodeId>(side.size()) == topology_->num_nodes(),
               "partition: side map has {} entries for n={}", side.size(),
@@ -292,18 +358,34 @@ class BasicNetwork final : private Simulator::DeliverSink {
     }
     partition_side_ = std::move(side);
     partition_active_ = true;
+    ++partition_epoch_;
   }
   void clear_partition() { partition_active_ = false; }
   bool partition_active() const { return partition_active_; }
 
-  /// Schedules the partition for the window [start, end).
+  /// Schedules the partition for the window [start, end).  The clear at
+  /// `end` is epoch-guarded: if another partition replaces this one
+  /// mid-window, the stale clear no longer dissolves the new cut.
   void partition_during(std::vector<std::uint8_t> side, double start,
                         double end) {
     LHG_CHECK(start < end, "partition: empty window [{}, {})", start, end);
-    sim_->schedule_at(start, [this, side = std::move(side)]() mutable {
+    const std::size_t w = new_window();
+    sim_->schedule_at(start, [this, w, side = std::move(side)]() mutable {
       set_partition(std::move(side));
+      window_epoch_[w] = partition_epoch_;
     });
-    sim_->schedule_at(end, [this] { clear_partition(); });
+    sim_->schedule_at(end, [this, w] {
+      if (partition_epoch_ == window_epoch_[w]) clear_partition();
+    });
+  }
+
+  /// Activates `side` immediately and schedules the epoch-guarded clear
+  /// at `end` — the immediate-start form of `partition_during`.
+  void partition_until(std::vector<std::uint8_t> side, double end) {
+    set_partition(std::move(side));
+    sim_->schedule_at(end, [this, e = partition_epoch_] {
+      if (partition_epoch_ == e) clear_partition();
+    });
   }
 
   bool is_alive(core::NodeId node) const {
@@ -476,6 +558,37 @@ class BasicNetwork final : private Simulator::DeliverSink {
                partition_side_[static_cast<std::size_t>(v)];
   }
 
+  // --- Mutation epochs (overlap-safe timed windows) ---------------------
+  // Every crash / link-failure / set_partition call advances an epoch;
+  // a windowed end-event captures the epoch its own start produced and
+  // fires only while it still matches, so a window whose state was
+  // replaced mid-flight cannot clobber the replacement.  The per-node /
+  // per-link vectors are lazily allocated: failure-free runs pay nothing.
+  void bump_crash_epoch(core::NodeId node) {
+    if (crash_epoch_.empty()) {
+      crash_epoch_.assign(static_cast<std::size_t>(topology_->num_nodes()), 0);
+    }
+    ++crash_epoch_[static_cast<std::size_t>(node)];
+  }
+  std::uint64_t crash_epoch_of(core::NodeId node) const {
+    return crash_epoch_.empty() ? 0
+                                : crash_epoch_[static_cast<std::size_t>(node)];
+  }
+  void bump_link_epoch(std::int32_t link) {
+    if (link_epoch_.empty()) {
+      link_epoch_.assign(static_cast<std::size_t>(topology_->num_edges()), 0);
+    }
+    ++link_epoch_[static_cast<std::size_t>(link)];
+  }
+  std::uint64_t link_epoch_of(std::int32_t link) const {
+    return link_epoch_.empty() ? 0
+                               : link_epoch_[static_cast<std::size_t>(link)];
+  }
+  std::size_t new_window() {
+    window_epoch_.push_back(0);
+    return window_epoch_.size() - 1;
+  }
+
   const Topology* topology_;
   Simulator* sim_;
   LatencySpec latency_;
@@ -491,6 +604,10 @@ class BasicNetwork final : private Simulator::DeliverSink {
   std::vector<std::uint8_t> link_bad_;     // per edge id: GE channel state
   std::vector<std::uint8_t> partition_side_;  // per node; empty until set
   bool partition_active_ = false;
+  std::vector<std::uint64_t> crash_epoch_;   // per node; lazy
+  std::vector<std::uint64_t> link_epoch_;    // per edge id; lazy
+  std::uint64_t partition_epoch_ = 0;
+  std::vector<std::uint64_t> window_epoch_;  // one slot per windowed call
 };
 
 /// The canonical materialized-overlay instantiation (the only one most

@@ -1,0 +1,345 @@
+#include "flooding/shard_sim.h"
+
+#include <algorithm>
+
+#include "core/parallel.h"
+
+namespace lhg::flooding {
+
+ShardedSimulator::ShardedSimulator(std::int32_t num_nodes,
+                                   std::int32_t num_shards)
+    : num_nodes_(num_nodes) {
+  LHG_CHECK(num_nodes > 0, "ShardedSimulator: need at least one node, got {}",
+            num_nodes);
+  LHG_CHECK(num_shards > 0, "ShardedSimulator: shard count {} must be > 0",
+            num_shards);
+  const std::int32_t shards = std::min(num_shards, num_nodes);
+  block_ = (num_nodes + shards - 1) / shards;
+  // block_ >= 1, and ceil(n / block_) == shards by construction.
+  shards_.resize(static_cast<std::size_t>((num_nodes + block_ - 1) / block_));
+  for (Shard& sh : shards_) {
+    sh.outbox.resize(shards_.size());
+  }
+  node_seq_.assign(static_cast<std::size_t>(num_nodes), 0);
+}
+
+ShardedSimulator::~ShardedSimulator() { destroy_pending_callbacks(); }
+
+void ShardedSimulator::destroy_pending_callbacks() {
+  // run_until can leave unexecuted events behind; destroy their
+  // callables exactly as the serial engine's destructor does.  Between
+  // windows `run`/`late` are empty and outboxes hold only deliver
+  // events, so shard bucket heaps and the control lane cover
+  // everything.
+  for (Shard& sh : shards_) {
+    for (const BucketRef& ref : sh.heap) {
+      for (const Event& ev : sh.buckets[ref.bucket].events) {
+        if (ev.kind == kCallback) {
+          CallbackPayload& cb =
+              shard_slot(sh, static_cast<std::uint32_t>(ev.link)).callback;
+          cb.destroy(cb.storage);
+        }
+      }
+    }
+  }
+  for (const ControlRef& ref : control_) {
+    CallbackPayload& cb =
+        env_slot(static_cast<std::uint32_t>(ref.slot)).callback;
+    cb.destroy(cb.storage);
+  }
+}
+
+void ShardedSimulator::enqueue(Shard& sh, double time, const Event& ev) {
+  ++sh.pending;
+  // Same-time events created while their timestamp is being drained
+  // slot into the remaining execution by key (the bucket was already
+  // collected); everything else takes the calendar-queue path.
+  if (sh.draining && time == sh.drain_time) {
+    late_push(sh, ev);
+    return;
+  }
+  if (sh.last_bucket != kNoBucket && sh.buckets[sh.last_bucket].time == time) {
+    sh.buckets[sh.last_bucket].events.push_back(ev);
+    return;
+  }
+  enqueue_slow(sh, time, ev);
+}
+
+void ShardedSimulator::enqueue_slow(Shard& sh, double time, const Event& ev) {
+  // Open a fresh bucket for this timestamp.  Several buckets may share
+  // a time; the window drain collects all of them and key-sorts once,
+  // so bucket multiplicity never affects execution order.
+  std::uint32_t b;
+  if (!sh.bucket_free.empty()) {
+    b = sh.bucket_free.back();
+    sh.bucket_free.pop_back();
+    sh.buckets[b].time = time;
+    sh.buckets[b].events.clear();
+  } else {
+    b = static_cast<std::uint32_t>(sh.buckets.size());
+    sh.buckets.push_back(Bucket{time, {}});
+  }
+  heap_push(sh, BucketRef{time, sh.next_bucket_seq++, b});
+  sh.buckets[b].events.push_back(ev);
+  sh.last_bucket = b;
+}
+
+void ShardedSimulator::heap_push(Shard& sh, BucketRef ref) {
+  std::size_t i = sh.heap.size();
+  sh.heap.push_back(ref);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 1;
+    if (!ref_before(ref, sh.heap[parent])) break;
+    sh.heap[i] = sh.heap[parent];
+    i = parent;
+  }
+  sh.heap[i] = ref;
+}
+
+void ShardedSimulator::heap_pop(Shard& sh) {
+  const BucketRef last = sh.heap.back();
+  sh.heap.pop_back();
+  const std::size_t n = sh.heap.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t left = (i << 1) + 1;
+    if (left >= n) break;
+    std::size_t best = left;
+    const std::size_t right = left + 1;
+    if (right < n && ref_before(sh.heap[right], sh.heap[left])) best = right;
+    if (!ref_before(sh.heap[best], last)) break;
+    sh.heap[i] = sh.heap[best];
+    i = best;
+  }
+  sh.heap[i] = last;
+}
+
+void ShardedSimulator::late_push(Shard& sh, const Event& ev) {
+  sh.late.push_back(ev);
+  std::push_heap(sh.late.begin(), sh.late.end(),
+                 [](const Event& a, const Event& b) { return a.key > b.key; });
+}
+
+ShardedSimulator::Event ShardedSimulator::late_pop(Shard& sh) {
+  std::pop_heap(sh.late.begin(), sh.late.end(),
+                [](const Event& a, const Event& b) { return a.key > b.key; });
+  const Event ev = sh.late.back();
+  sh.late.pop_back();
+  return ev;
+}
+
+void ShardedSimulator::control_heap_sift_up() {
+  std::size_t i = control_.size() - 1;
+  const ControlRef ref = control_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 1;
+    const ControlRef& p = control_[parent];
+    if (p.time < ref.time || (p.time == ref.time && p.seq < ref.seq)) break;
+    control_[i] = p;
+    i = parent;
+  }
+  control_[i] = ref;
+}
+
+void ShardedSimulator::control_heap_pop() {
+  const ControlRef last = control_.back();
+  control_.pop_back();
+  const std::size_t n = control_.size();
+  if (n == 0) return;
+  const auto before = [](const ControlRef& a, const ControlRef& b) {
+    return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+  };
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t left = (i << 1) + 1;
+    if (left >= n) break;
+    std::size_t best = left;
+    const std::size_t right = left + 1;
+    if (right < n && before(control_[right], control_[left])) best = right;
+    if (!before(control_[best], last)) break;
+    control_[i] = control_[best];
+    i = best;
+  }
+  control_[i] = last;
+}
+
+void ShardedSimulator::dispatch(Shard& sh, std::int32_t shard_idx,
+                                const Event& ev) {
+  ++sh.processed;
+  --sh.pending;
+  if (sh.obs != nullptr) {
+    // Note: the serial engine's sim_bucket_events histogram is
+    // deliberately NOT recorded here — per-drain bucket sizes depend on
+    // how timestamps split across shards, so they are not S-invariant.
+    sh.obs->add(ev.kind == kDeliver ? sh.obs->sim_deliver_events
+                                    : sh.obs->sim_callback_events);
+  }
+  if (ev.kind == kDeliver) {
+    // Canonical origin of anything this handler schedules: the acting
+    // (receiving) node.
+    sh.origin = ev.to;
+    sink_->on_sharded_deliver(shard_idx, ev.from, ev.to, ev.link, ev.message);
+  } else {
+    sh.origin = ev.from;
+    // Invoke in place — slab chunk addresses are stable, so events the
+    // callback schedules (which may carve new chunks) cannot move it.
+    const auto id = static_cast<std::uint32_t>(ev.link);
+    CallbackPayload& cb = shard_slot(sh, id).callback;
+    cb.invoke(cb.storage, shard_idx);
+    shard_free_slot(sh, id);
+  }
+  sh.origin = kEnvOrigin;
+}
+
+void ShardedSimulator::drain_window(std::int32_t s, double wend,
+                                    double deadline, bool bounded) {
+  Shard& sh = shards_[static_cast<std::size_t>(s)];
+  while (!sh.heap.empty()) {
+    const double t = sh.heap.front().time;
+    if (t >= wend) break;
+    if (bounded && t > deadline) break;
+    // Collect every bucket holding this timestamp and key-sort once:
+    // the canonical (origin, seq) order is total, so the sorted run is
+    // independent of how insertions were split across buckets.
+    sh.now = t;
+    sh.drain_time = t;
+    sh.run.clear();
+    while (!sh.heap.empty() && sh.heap.front().time == t) {
+      const std::uint32_t b = sh.heap.front().bucket;
+      Bucket& bucket = sh.buckets[b];
+      sh.run.insert(sh.run.end(), bucket.events.begin(), bucket.events.end());
+      bucket.events.clear();
+      heap_pop(sh);
+      if (sh.last_bucket == b) sh.last_bucket = kNoBucket;
+      sh.bucket_free.push_back(b);
+    }
+    std::sort(sh.run.begin(), sh.run.end(),
+              [](const Event& a, const Event& b) { return a.key < b.key; });
+    // Execute as a two-way merge against the late heap: handlers may
+    // schedule same-time events, which must slot among the unexecuted
+    // remainder by key (keys only grow along a causal chain, so a late
+    // event never sorts before its already-executed creator).
+    sh.draining = true;
+    std::size_t i = 0;
+    while (i < sh.run.size() || !sh.late.empty()) {
+      const bool take_late =
+          !sh.late.empty() &&
+          (i >= sh.run.size() || sh.late.front().key < sh.run[i].key);
+      const Event ev = take_late ? late_pop(sh) : sh.run[i++];
+      dispatch(sh, s, ev);
+    }
+    sh.draining = false;
+  }
+}
+
+void ShardedSimulator::exchange() {
+  // The one sanctioned cross-shard touch point: destinations pull each
+  // source's outbox in ascending shard order, at the barrier, after all
+  // lanes have quiesced.  Each box is already in creation order and
+  // every entry's time is >= the closed window's end, so merged events
+  // land in future buckets and the canonical key ordering is preserved.
+  const std::int32_t shards = num_shards();
+  for (std::int32_t d = 0; d < shards; ++d) {
+    Shard& dst = shards_[static_cast<std::size_t>(d)];
+    for (std::int32_t s = 0; s < shards; ++s) {
+      if (s == d) continue;
+      Shard& src = peer_shard(s);  // lint: allow(cross-shard-state): barrier exchange after lanes quiesce
+      std::vector<Event>& box = src.outbox[static_cast<std::size_t>(d)];
+      for (const Event& ev : box) {
+        --src.outbox_pending;
+        enqueue(dst, ev.time, ev);
+      }
+      box.clear();
+    }
+  }
+}
+
+void ShardedSimulator::run_control(double tctl) {
+  // All control events at this timestamp, in scheduling order.  They
+  // run in a serial phase, so handlers may mutate shared network state
+  // and schedule further control or node events.
+  env_now_ = tctl;
+  while (!control_.empty() && control_.front().time == tctl) {
+    const std::int32_t id = control_.front().slot;
+    control_heap_pop();
+    CallbackPayload& cb = env_slot(static_cast<std::uint32_t>(id)).callback;
+    cb.invoke(cb.storage, kEnvOrigin);
+    env_slot(static_cast<std::uint32_t>(id)).next_free = env_free_head_;
+    env_free_head_ = id;
+    ++env_processed_;
+  }
+}
+
+void ShardedSimulator::run_impl(double deadline, bool bounded) {
+  LHG_CHECK(!in_windows_, "ShardedSimulator: re-entrant run()");
+  const std::int32_t shards = num_shards();
+  for (;;) {
+    double tmin = std::numeric_limits<double>::infinity();
+    for (const Shard& sh : shards_) {
+      if (!sh.heap.empty()) tmin = std::min(tmin, sh.heap.front().time);
+    }
+    const double tctl = control_.empty()
+                            ? std::numeric_limits<double>::infinity()
+                            : control_.front().time;
+    const double next = std::min(tmin, tctl);
+    if (next == std::numeric_limits<double>::infinity()) break;
+    if (bounded && next > deadline) break;
+    if (tctl <= tmin) {
+      // Control runs strictly before any shard reaches its timestamp:
+      // at equal times the serial engine would also run the (earlier-
+      // scheduled) setup event first.
+      run_control(tctl);
+      continue;
+    }
+    // Conservative window [tmin, wend): a cross-shard message created
+    // at t >= tmin arrives at t + lookahead >= wend, and no shared
+    // state changes before tctl, so lanes are independent inside it.
+    const double wend = std::min(tmin + lookahead_, tctl);
+    window_end_ = wend;
+    in_windows_ = true;
+    if (shards == 1) {
+      drain_window(0, wend, deadline, bounded);
+    } else {
+      core::parallel_for(shards, /*grain=*/1,
+                         [&](std::int64_t s, int /*lane*/) {
+                           drain_window(static_cast<std::int32_t>(s), wend,
+                                        deadline, bounded);
+                         });
+    }
+    in_windows_ = false;
+    exchange();
+  }
+  if (bounded) {
+    for (Shard& sh : shards_) {
+      if (sh.now < deadline) sh.now = deadline;
+    }
+    if (env_now_ < deadline) env_now_ = deadline;
+  }
+}
+
+std::int64_t ShardedSimulator::events_processed() const {
+  std::int64_t total = env_processed_;
+  for (const Shard& sh : shards_) total += sh.processed;
+  return total;
+}
+
+std::size_t ShardedSimulator::pending() const {
+  std::size_t total = control_.size();
+  for (const Shard& sh : shards_) total += sh.pending;
+  return total;
+}
+
+std::int64_t ShardedSimulator::slots_created() const {
+  std::int64_t total = env_slots_created_;
+  for (const Shard& sh : shards_) total += sh.slots_created;
+  return total;
+}
+
+std::int64_t ShardedSimulator::callback_heap_allocations() const {
+  std::int64_t total = env_heap_allocs_;
+  for (const Shard& sh : shards_) total += sh.heap_allocs;
+  return total;
+}
+
+}  // namespace lhg::flooding

@@ -1,5 +1,9 @@
 #include "obs/obs.h"
 
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
 namespace lhg::obs {
 
 SimObs::SimObs(Registry* registry, TraceSink* sink, std::int32_t shard)
@@ -41,6 +45,79 @@ Runtime::Runtime(const ObsConfig& config, std::int32_t shards)
   if (config_.enabled()) {
     sim_obs_ = std::make_unique<SimObs>(registry_.get(), sink_.get());
   }
+}
+
+Runtime::Runtime(const ObsConfig& config, std::int32_t shards, PerShardHandles)
+    : config_(config) {
+  if (!config_.enabled()) return;
+  if (config_.metrics) {
+    registry_ = std::make_unique<Registry>(shards);
+  }
+  if (config_.trace) {
+    shard_sinks_.reserve(static_cast<std::size_t>(shards));
+    for (std::int32_t s = 0; s < shards; ++s) {
+      shard_sinks_.push_back(
+          std::make_unique<TraceSink>(config_.trace_capacity));
+    }
+  }
+  // One registering bundle, cloned per shard: the schema is registered
+  // exactly once, so every shard's handles index the same slots.
+  const SimObs base(registry_.get(), nullptr);
+  shard_obs_.reserve(static_cast<std::size_t>(shards));
+  for (std::int32_t s = 0; s < shards; ++s) {
+    shard_obs_.push_back(base.for_shard(
+        s, config_.trace ? shard_sinks_[static_cast<std::size_t>(s)].get()
+                         : nullptr));
+  }
+}
+
+std::vector<const SimObs*> Runtime::shard_obs() const {
+  std::vector<const SimObs*> taps;
+  taps.reserve(shard_obs_.size());
+  for (const SimObs& o : shard_obs_) taps.push_back(&o);
+  return taps;
+}
+
+TraceLog Runtime::trace_log() const {
+  if (shard_sinks_.empty()) return sink_ ? sink_->log() : TraceLog{};
+  // Merge the shard rings by (time, shard index); within a shard the
+  // ring order is preserved, so the merged log is deterministic at any
+  // thread count.
+  TraceLog merged;
+  struct Cursor {
+    std::size_t shard;
+    TraceLog log;
+  };
+  std::vector<Cursor> cursors;
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_sinks_.size(); ++s) {
+    Cursor c{s, shard_sinks_[s]->log()};
+    merged.dropped += c.log.dropped;
+    total += c.log.events.size();
+    cursors.push_back(std::move(c));
+  }
+  struct Tagged {
+    double time;
+    std::size_t shard;
+    std::size_t index;
+  };
+  std::vector<Tagged> order;
+  order.reserve(total);
+  for (const Cursor& c : cursors) {
+    for (std::size_t i = 0; i < c.log.events.size(); ++i) {
+      order.push_back(Tagged{c.log.events[i].time, c.shard, i});
+    }
+  }
+  std::sort(order.begin(), order.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.index < b.index;
+  });
+  merged.events.reserve(total);
+  for (const Tagged& t : order) {
+    merged.events.push_back(cursors[t.shard].log.events[t.index]);
+  }
+  return merged;
 }
 
 }  // namespace lhg::obs

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -100,6 +101,17 @@ class SimObs {
     if (sink_ != nullptr) sink_->record(time, kind, node, peer, detail);
   }
 
+  /// Per-shard view sharing this bundle's registered handles: records
+  /// into `shard` of the same registry and into `sink` (one ring per
+  /// shard in the sharded engine, so lanes never share a sink).  No
+  /// re-registration — the schema stays single.
+  SimObs for_shard(std::int32_t shard, TraceSink* sink) const {
+    SimObs copy = *this;
+    copy.shard_ = shard;
+    copy.sink_ = sink;
+    return copy;
+  }
+
   /// Histograms store integers; continuous quantities (latencies in
   /// virtual time units) are scaled to milli-ticks first.
   static std::int64_t milli_ticks(double t) {
@@ -112,21 +124,41 @@ class SimObs {
   std::int32_t shard_;
 };
 
+/// Tag selecting Runtime's per-shard-handles mode (sharded engine).
+struct PerShardHandles {};
+
 /// Owns the registry + sink for one run (or one trial).  Cheap to
 /// construct when disabled: no allocation at all, `obs()` is nullptr.
 class Runtime {
  public:
   explicit Runtime(const ObsConfig& config, std::int32_t shards = 1);
 
+  /// Per-shard-handles mode, for the sharded engine (shard_sim.h): one
+  /// SimObs per shard — all sharing a single registered schema on one
+  /// Registry(shards) — plus one TraceSink per shard so lanes never
+  /// share a ring.  `metrics_snapshot()` merges shard slabs in index
+  /// order as always; `trace_log()` merges the rings by (time, shard),
+  /// summing the per-ring drop counts.  `obs()` is nullptr in this
+  /// mode — use `shard_obs()`.
+  Runtime(const ObsConfig& config, std::int32_t shards, PerShardHandles);
+
   /// Handle bundle for components, or nullptr when fully disabled.
-  const SimObs* obs() const { return config_.enabled() ? &*sim_obs_ : nullptr; }
+  const SimObs* obs() const { return sim_obs_ ? sim_obs_.get() : nullptr; }
+
+  /// Per-shard handle bundle (per-shard mode only; empty otherwise —
+  /// and empty when observability is fully disabled, matching the
+  /// nullptr convention of `obs()`).
+  std::vector<const SimObs*> shard_obs() const;
 
   /// Merged metrics (empty snapshot when metrics are off).
   Snapshot metrics_snapshot() const {
     return registry_ ? registry_->snapshot() : Snapshot{};
   }
-  /// Retained trace events (empty log when tracing is off).
-  TraceLog trace_log() const { return sink_ ? sink_->log() : TraceLog{}; }
+  /// Retained trace events (empty log when tracing is off).  In
+  /// per-shard mode: the shard rings merged by (time, shard index) —
+  /// deterministic at any thread count, but interleaved differently
+  /// than a single-queue run's one ring.
+  TraceLog trace_log() const;
 
   const ObsConfig& config() const { return config_; }
 
@@ -135,6 +167,9 @@ class Runtime {
   std::unique_ptr<Registry> registry_;
   std::unique_ptr<TraceSink> sink_;
   std::unique_ptr<SimObs> sim_obs_;
+  // Per-shard mode only:
+  std::vector<std::unique_ptr<TraceSink>> shard_sinks_;
+  std::vector<SimObs> shard_obs_;
 };
 
 }  // namespace lhg::obs

@@ -1,0 +1,11 @@
+// Fixture: a peer_shard() call outside the barrier-exchange path must
+// be flagged exactly once (rule cross-shard-state).  NOT compiled —
+// linter input only.
+#include <cstdint>
+
+struct Engine {
+  void leak(std::int32_t s);
+  int lane_state_ = 0;
+};
+
+void drain(Engine& e, std::int32_t s) { e.lane_state_ += peer_shard(s); }

@@ -211,5 +211,100 @@ TEST(Failure, ComposeAppendsEveryKind) {
   EXPECT_EQ(plan.total_failures(), 6u);
 }
 
+// Regression for the stale partition-window clear: compose two plans
+// whose partition windows overlap (random_partition [2, 6) replaced by
+// cut_partition [4, 10) mid-window).  Pre-fix, the first window's
+// unconditional clear at t=6 dissolved the second cut four time units
+// early; post-fix the second cut holds until its own end.
+TEST(Failure, ComposedOverlappingPartitionsKeepTheLaterCut) {
+  const auto g = lhg::build(26, 3);
+  core::Rng rng(11);
+  FailurePlan plan = random_partition(g, rng, 2.0, 6.0);
+  compose(plan, cut_partition(g, rng, 4.0, 10.0));
+  ASSERT_EQ(plan.partitions.size(), 2u);
+  const auto& side = plan.partitions[1].side;
+  // Pick an overlay edge the second cut severs; the probe rides it.
+  NodeId u = -1;
+  NodeId v = -1;
+  for (const auto& e : g.edges()) {
+    if (side[static_cast<std::size_t>(e.u)] !=
+        side[static_cast<std::size_t>(e.v)]) {
+      u = e.u;
+      v = e.v;
+      break;
+    }
+  }
+  ASSERT_GE(u, 0) << "cut_partition must sever at least one edge";
+
+  Simulator sim;
+  core::Rng net_rng(1);
+  Network net(g, sim, LatencySpec::fixed(1.0), net_rng);
+  apply_failure_plan(net, plan);
+  sim.schedule_at(7.0, [&] {
+    EXPECT_TRUE(net.partition_active());
+    EXPECT_FALSE(net.send(u, v, 1));  // second cut still active
+  });
+  sim.schedule_at(11.0, [&] {
+    EXPECT_FALSE(net.partition_active());
+    EXPECT_TRUE(net.send(u, v, 2));
+  });
+  sim.run();
+  EXPECT_EQ(net.stats().blocked_partition, 1);
+}
+
+// Composed crash-recovery windows overlapping on the same node behave
+// as the union of their down windows: the first window's recovery is
+// paired with its own crash and skipped once the second crash lands.
+TEST(Failure, ComposedOverlappingCrashWindowsStayDownUntilLatest) {
+  const auto g = lhg::build(12, 3);
+  FailurePlan plan;
+  plan.crashes = {{2, 5.0}, {2, 8.0}};
+  plan.recoveries = {{2, 15.0}, {2, 30.0}};
+
+  Simulator sim;
+  core::Rng net_rng(1);
+  Network net(g, sim, LatencySpec::fixed(1.0), net_rng);
+  apply_failure_plan(net, plan);
+  sim.schedule_at(20.0, [&] { EXPECT_FALSE(net.is_alive(2)); });
+  sim.schedule_at(31.0, [&] { EXPECT_TRUE(net.is_alive(2)); });
+  sim.run();
+  EXPECT_TRUE(net.is_alive(2));
+}
+
+// Same for link flaps: two overlapping flap windows on one link keep
+// it down until the later restore.
+TEST(Failure, ComposedOverlappingFlapsStayDownUntilLatest) {
+  const auto g = lhg::build(12, 3);
+  const core::Edge link = g.edges().front();
+  FailurePlan plan;
+  plan.flaps = {{link, 5.0, 15.0}, {link, 8.0, 30.0}};
+
+  Simulator sim;
+  core::Rng net_rng(1);
+  Network net(g, sim, LatencySpec::fixed(1.0), net_rng);
+  apply_failure_plan(net, plan);
+  sim.schedule_at(20.0,
+                  [&] { EXPECT_FALSE(net.link_ok(link.u, link.v)); });
+  sim.schedule_at(31.0, [&] { EXPECT_TRUE(net.link_ok(link.u, link.v)); });
+  sim.run();
+  EXPECT_TRUE(net.link_ok(link.u, link.v));
+}
+
+// Recoveries without a preceding crash in the plan (pre-crashed nodes)
+// keep the unconditional legacy semantics.
+TEST(Failure, UnpairedRecoveryStaysUnconditional) {
+  const auto g = lhg::build(12, 3);
+  FailurePlan plan;
+  plan.recoveries = {{3, 5.0}};
+
+  Simulator sim;
+  core::Rng net_rng(1);
+  Network net(g, sim, LatencySpec::fixed(1.0), net_rng);
+  net.crash_now(3);  // crashed outside the plan
+  apply_failure_plan(net, plan);
+  sim.run();
+  EXPECT_TRUE(net.is_alive(3));
+}
+
 }  // namespace
 }  // namespace lhg::flooding
